@@ -1,0 +1,57 @@
+"""Benchmark: regenerate Figure 1 (per-client accuracy vs pruning %).
+
+Sub-FedAvg (Un) on the CIFAR-10 family, sweeping target pruning rates and
+printing the per-client (sparsity, accuracy) series the figure plots.
+"""
+
+import pytest
+
+from repro.experiments import fig1_series, run_fig1_trajectory, run_sparsity_sweep
+
+TARGETS = (0.0, 0.3, 0.5, 0.7)
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_cifar10(benchmark, once, capsys):
+    points = once(
+        benchmark,
+        run_sparsity_sweep,
+        "cifar10",
+        targets=TARGETS,
+        preset="smoke",
+        seed=0,
+    )
+    sampled_clients = list(points[0].per_client_accuracy)[:4]
+    series = fig1_series(points, sampled_clients)
+
+    with capsys.disabled():
+        print("\nFigure 1 — cifar10: test accuracy vs pruning % (sampled clients)")
+        for client_id, curve in series.items():
+            formatted = ", ".join(f"({s:.2f}, {a:.3f})" for s, a in curve)
+            print(f"  client {client_id}: {formatted}")
+
+    assert len(points) == len(TARGETS)
+    # Sparsity grows along the sweep.
+    sparsities = [point.achieved_sparsity for point in points]
+    assert sparsities == sorted(sparsities)
+    # Every sampled client produced a full curve.
+    assert all(len(curve) == len(TARGETS) for curve in series.values())
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_in_run_trajectory(benchmark, once, capsys):
+    """The figure's literal form: one run, 5-10% pruning per iteration."""
+    curves = once(
+        benchmark, run_fig1_trajectory, "mnist", preset="smoke", seed=0, step=0.08
+    )
+    with capsys.disabled():
+        print("\nFigure 1 (trajectory form) — mnist: per-client (sparsity, acc)")
+        for client_id, curve in sorted(curves.items())[:5]:
+            formatted = ", ".join(f"({s:.2f}, {a:.3f})" for s, a in curve)
+            print(f"  client {client_id}: {formatted}")
+
+    assert curves, "no trajectory points recorded"
+    for curve in curves.values():
+        sparsities = [s for s, _ in curve]
+        # Within a client, sparsity is monotone non-decreasing over rounds.
+        assert all(a <= b + 1e-12 for a, b in zip(sparsities, sparsities[1:]))

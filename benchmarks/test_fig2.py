@@ -1,0 +1,41 @@
+"""Benchmark: regenerate Figure 2 (mean accuracy vs mean pruning %).
+
+The paper's Figure 2 shows, for CIFAR-10 / MNIST / EMNIST, mean accuracy
+rising with moderate pruning (common parameters removed) and degrading past
+heavy pruning (personal parameters removed).  At smoke scale the exact hump
+position is noisy, so the asserted shape is the robust part of the claim:
+moderate pruning does not collapse accuracy relative to dense training,
+while the sweep itself spans the full sparsity range.
+"""
+
+import pytest
+
+from repro.experiments import ascii_plot, fig2_series, run_sparsity_sweep
+
+TARGETS = (0.0, 0.3, 0.5, 0.8)
+
+
+@pytest.mark.benchmark(group="fig2")
+@pytest.mark.parametrize("dataset", ["mnist", "emnist", "cifar10"])
+def test_fig2(benchmark, once, dataset, capsys):
+    points = once(
+        benchmark,
+        run_sparsity_sweep,
+        dataset,
+        targets=TARGETS,
+        preset="smoke",
+        seed=0,
+    )
+    curve = fig2_series(points)
+    with capsys.disabled():
+        print(f"\nFigure 2 — {dataset}: mean accuracy vs mean pruning %")
+        for sparsity, accuracy in curve:
+            print(f"  sparsity {sparsity:.2f} -> accuracy {accuracy:.3f}")
+        print(ascii_plot(curve))
+
+    dense_accuracy = curve[0][1]
+    moderate = [acc for sparsity, acc in curve if 0.0 < sparsity <= 0.6]
+    assert moderate, "sweep produced no moderate-sparsity points"
+    # Moderate pruning keeps (or improves) accuracy vs dense — the rising
+    # left side of the paper's hump, within smoke-scale noise.
+    assert max(moderate) >= dense_accuracy - 0.10

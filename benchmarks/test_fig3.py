@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Figure 3 (accuracy vs communication rounds).
+
+Per-round personalized-accuracy curves for Sub-FedAvg (Un) against FedAvg,
+LG-FedAvg and MTL, plus the rounds-to-target-accuracy summary behind the
+paper's "2-10x fewer rounds" claim (§4.2.2).
+"""
+
+import pytest
+
+from repro.experiments import fig3_series, rounds_to_target, run_convergence
+
+ALGORITHMS = ("sub-fedavg-un", "fedavg", "lg-fedavg", "mtl")
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_mnist(benchmark, once, capsys):
+    histories = once(
+        benchmark, run_convergence, "mnist", algorithms=ALGORITHMS, preset="smoke",
+        seed=0,
+    )
+    series = fig3_series(histories)
+
+    with capsys.disabled():
+        print("\nFigure 3 — mnist: mean personalized accuracy per round")
+        for name, curve in series.items():
+            formatted = ", ".join(f"r{r}={a:.3f}" for r, a in curve)
+            print(f"  {name:14s}: {formatted}")
+        # Rounds needed to reach a mid-range target.
+        target = 0.7
+        needed = rounds_to_target(histories, target)
+        print(f"  rounds to reach {target:.0%}: {needed}")
+
+    assert set(series) == set(ALGORITHMS)
+    assert all(len(curve) == len(histories[name].rounds) for name, curve in series.items())
+
+    # Shape claim: the personalized method converges at least as fast as
+    # global FedAvg to any accuracy FedAvg eventually reaches.
+    sub_final = series["sub-fedavg-un"][-1][1]
+    fedavg_final = series["fedavg"][-1][1]
+    assert sub_final >= fedavg_final - 0.02

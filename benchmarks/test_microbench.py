@@ -1,0 +1,92 @@
+"""Micro-benchmarks of the substrate's hot paths.
+
+These quantify the per-round cost drivers of the federation simulator:
+convolution forward/backward, one client SGD step, mask derivation and the
+Sub-FedAvg intersection average.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.federated import intersection_average
+from repro.models import LeNet5, create_model
+from repro.optim import SGD
+from repro.pruning import MaskSet, bn_scale_channel_mask, magnitude_mask
+from repro.tensor import Tensor, conv2d
+
+
+@pytest.fixture(scope="module")
+def lenet():
+    return LeNet5(rng=np.random.default_rng(0))
+
+
+@pytest.mark.benchmark(group="micro")
+def test_conv_forward(benchmark, rng=np.random.default_rng(0)):
+    x = Tensor(rng.normal(size=(10, 3, 32, 32)))
+    w = Tensor(rng.normal(size=(6, 3, 5, 5)))
+    b = Tensor(rng.normal(size=6))
+    benchmark(lambda: conv2d(x, w, b))
+
+
+@pytest.mark.benchmark(group="micro")
+def test_conv_backward(benchmark, rng=np.random.default_rng(0)):
+    x = Tensor(rng.normal(size=(10, 3, 32, 32)), requires_grad=True)
+    w = Tensor(rng.normal(size=(6, 3, 5, 5)), requires_grad=True)
+    b = Tensor(rng.normal(size=6), requires_grad=True)
+
+    def run():
+        for tensor in (x, w, b):
+            tensor.zero_grad()
+        conv2d(x, w, b).sum().backward()
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_lenet_training_step(benchmark, lenet, rng=np.random.default_rng(0)):
+    """One batch-10 SGD step on LeNet-5 — the paper's unit of local work."""
+    images = rng.normal(size=(10, 3, 32, 32))
+    labels = rng.integers(0, 10, size=10)
+    optimizer = SGD(list(lenet.named_parameters()), lr=0.01, momentum=0.5)
+    loss_fn = nn.CrossEntropyLoss()
+
+    def step():
+        optimizer.zero_grad()
+        loss = loss_fn(lenet(Tensor(images)), labels)
+        loss.backward()
+        optimizer.step()
+        return loss.item()
+
+    benchmark(step)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_magnitude_mask_derivation(benchmark, lenet):
+    state = {name: param.data for name, param in lenet.named_parameters()}
+    names = lenet.prunable_weight_names()
+    benchmark(lambda: magnitude_mask(state, names, rate=0.5))
+
+
+@pytest.mark.benchmark(group="micro")
+def test_channel_mask_derivation(benchmark, lenet):
+    benchmark(lambda: bn_scale_channel_mask(lenet, rate=0.5))
+
+
+@pytest.mark.benchmark(group="micro")
+def test_intersection_average_10_clients(benchmark):
+    model = create_model("cifar10")
+    base = model.state_dict()
+    rng = np.random.default_rng(0)
+    states, masks = [], []
+    for _ in range(10):
+        states.append({k: v + rng.normal(size=v.shape) for k, v in base.items()})
+        masks.append(
+            MaskSet(
+                {
+                    name: (rng.random(base[name].shape) > 0.5).astype(float)
+                    for name in model.prunable_weight_names()
+                }
+            )
+        )
+    benchmark(lambda: intersection_average(states, masks, base))

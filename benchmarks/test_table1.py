@@ -1,0 +1,80 @@
+"""Benchmark: regenerate Table 1 (accuracy / pruned % / communication cost).
+
+Prints the same row structure as the paper's Table 1 at smoke scale and
+asserts the paper's qualitative claims:
+
+* FedAvg under pathological non-IID loses to Standalone (Remark-2),
+* Sub-FedAvg (Un) beats FedAvg on personalized accuracy,
+* Sub-FedAvg exchanges fewer bytes than FedAvg at equal rounds.
+"""
+
+import pytest
+
+from repro.experiments import format_table1, run_table1
+
+
+@pytest.fixture(scope="module")
+def mnist_rows():
+    return run_table1("mnist", preset="smoke", seed=0)
+
+
+@pytest.fixture(scope="module")
+def cifar_rows():
+    return run_table1("cifar10", preset="smoke", seed=0, include_fedprox=False)
+
+
+def _by_name(rows, prefix):
+    return next(row for row in rows if row.algorithm.startswith(prefix))
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_mnist(benchmark, once, capsys):
+    rows = once(benchmark, run_table1, "mnist", preset="smoke", seed=1)
+    with capsys.disabled():
+        print()
+        print(format_table1("mnist (smoke preset)", rows))
+    assert len(rows) >= 11
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_cifar10(benchmark, once, capsys):
+    rows = once(
+        benchmark, run_table1, "cifar10", preset="smoke", seed=1, include_fedprox=False
+    )
+    with capsys.disabled():
+        print()
+        print(format_table1("cifar10 (smoke preset)", rows))
+    assert len(rows) >= 10
+
+
+class TestTable1Shape:
+    """The paper's qualitative orderings, checked on module-cached rows."""
+
+    def test_fedavg_below_standalone_mnist_or_cifar(self, mnist_rows, cifar_rows):
+        # Remark-2: under 2-shard non-IID, FedAvg <= Standalone on at least
+        # one benchmark family (the paper shows it on CIFAR-10/100/EMNIST).
+        gaps = []
+        for rows in (mnist_rows, cifar_rows):
+            standalone = _by_name(rows, "standalone").accuracy
+            fedavg = _by_name(rows, "fedavg").accuracy
+            gaps.append(standalone - fedavg)
+        assert max(gaps) > 0.0
+
+    def test_subfedavg_un_beats_fedavg(self, mnist_rows):
+        fedavg = _by_name(mnist_rows, "fedavg").accuracy
+        sub = max(
+            row.accuracy
+            for row in mnist_rows
+            if row.algorithm.startswith("sub-fedavg-un")
+        )
+        assert sub > fedavg
+
+    def test_subfedavg_cheaper_communication(self, mnist_rows):
+        fedavg = _by_name(mnist_rows, "fedavg").communication_gb
+        sub70 = _by_name(mnist_rows, "sub-fedavg-un@70").communication_gb
+        assert sub70 < fedavg
+
+    def test_deeper_pruning_cheaper(self, mnist_rows):
+        sub30 = _by_name(mnist_rows, "sub-fedavg-un@30").communication_gb
+        sub70 = _by_name(mnist_rows, "sub-fedavg-un@70").communication_gb
+        assert sub70 <= sub30

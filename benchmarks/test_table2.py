@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Table 2 (FLOP and parameter reduction factors).
+
+Analytic — derived from the channel census exactly as the paper does.
+Asserts the headline 2.4x-ish FLOP factor for the hybrid variant.
+"""
+
+import pytest
+
+from repro.experiments import format_table2, run_table2
+
+
+@pytest.mark.benchmark(group="table2")
+@pytest.mark.parametrize("dataset", ["cifar10", "mnist"])
+def test_table2(benchmark, dataset, capsys):
+    rows = benchmark(run_table2, dataset)
+    with capsys.disabled():
+        print()
+        print(format_table2(dataset, rows))
+
+    hybrid = [row for row in rows if row.algorithm.startswith("sub-fedavg-hy")]
+    assert hybrid, "hybrid rows missing"
+    for row in hybrid:
+        assert row.flop_reduction > 1.5  # paper: 2.4x on LeNet-5
+
+    unstructured = [row for row in rows if row.algorithm.startswith("sub-fedavg-un")]
+    for row in unstructured:
+        assert row.flop_reduction == 1.0  # paper reports 0x for Un
+        assert row.param_reduction in (0.3, 0.5, 0.7)
+
+    baselines = [row for row in rows if not row.algorithm.startswith("sub-fedavg")]
+    for row in baselines:
+        assert row.param_reduction == 0.0

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Why personalization matters under data heterogeneity (paper's Remark-2).
+
+Reproduces the paper's central motivation at small scale: under a
+pathological 2-shard non-IID partition, a single FedAvg global model can be
+WORSE for individual clients than training alone, while Sub-FedAvg's
+personalized subnetworks recover and beat both.
+
+Compares Standalone, FedAvg and Sub-FedAvg (Un) on the same federation and
+prints per-client accuracies so the collapse of the global model is visible
+client by client.
+
+Usage::
+
+    python examples/personalization_vs_fedavg.py [dataset]
+
+with ``dataset`` one of mnist / emnist / cifar10 (default mnist).
+"""
+
+import sys
+
+from repro.federated import LocalTrainConfig, build_federation
+from repro.pruning import UnstructuredConfig
+
+SETTINGS = dict(
+    num_clients=10,
+    rounds=6,
+    sample_fraction=0.5,
+    n_train=600,
+    n_test=300,
+    seed=7,
+    local=LocalTrainConfig(epochs=3, batch_size=10),
+)
+
+
+def run(dataset: str, algorithm: str, **extra):
+    trainer = build_federation(dataset=dataset, algorithm=algorithm, **SETTINGS, **extra)
+    return trainer.run()
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "mnist"
+    print(f"dataset: {dataset} (2 shards per client => ~2 labels each)\n")
+
+    histories = {
+        "standalone": run(dataset, "standalone"),
+        "fedavg": run(dataset, "fedavg"),
+        "sub-fedavg-un": run(
+            dataset,
+            "sub-fedavg-un",
+            unstructured=UnstructuredConfig(target_rate=0.5, step=0.15),
+        ),
+    }
+
+    print(f"{'client':>8} | " + " | ".join(f"{name:>13}" for name in histories))
+    client_ids = sorted(histories["fedavg"].final_per_client_accuracy)
+    for client_id in client_ids:
+        cells = " | ".join(
+            f"{history.final_per_client_accuracy[client_id]:>12.1%}"
+            for history in histories.values()
+        )
+        print(f"{client_id:>8} | {cells}")
+
+    print("-" * 60)
+    means = " | ".join(
+        f"{history.final_accuracy:>12.1%}" for history in histories.values()
+    )
+    print(f"{'mean':>8} | {means}")
+
+    standalone = histories["standalone"].final_accuracy
+    fedavg = histories["fedavg"].final_accuracy
+    sub = histories["sub-fedavg-un"].final_accuracy
+    print()
+    if fedavg < standalone:
+        print(
+            "FedAvg's single global model underperforms local training "
+            "(the paper's Remark-2) — federation is not worth joining..."
+        )
+    if sub > fedavg:
+        print(
+            "...but Sub-FedAvg's personalized subnetworks make federation "
+            f"pay off again (+{(sub - fedavg) * 100:.1f} points over FedAvg)."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+Enables `pip install -e .` through the legacy setup.py-develop path; all
+project metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""Sub-FedAvg reproduction: personalized federated learning by pruning.
+
+Reproduces "Personalized Federated Learning by Structured and Unstructured
+Pruning under Data Heterogeneity" (Vahidian, Morafah, Lin — ICDCS 2021)
+from scratch: a numpy autograd engine, CNN layers, synthetic non-IID
+benchmarks, the Sub-FedAvg algorithms and all paper baselines.
+
+Quickstart
+----------
+>>> from repro.federated import build_federation
+>>> trainer = build_federation(dataset="mnist", algorithm="sub-fedavg-un",
+...                            num_clients=10, rounds=3, n_train=600, n_test=200)
+>>> history = trainer.run()  # doctest: +SKIP
+"""
+
+from . import data, experiments, federated, models, nn, optim, pruning, tensor, utils
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "tensor",
+    "nn",
+    "optim",
+    "data",
+    "models",
+    "pruning",
+    "federated",
+    "experiments",
+    "utils",
+    "__version__",
+]

@@ -1,0 +1,176 @@
+"""Command-line interface for running reproductions.
+
+Usage::
+
+    python -m repro run    --dataset mnist --algorithm sub-fedavg-un --preset smoke
+    python -m repro table1 --dataset mnist --preset smoke
+    python -m repro table2 --dataset cifar10
+    python -m repro fig2   --dataset mnist --preset smoke
+    python -m repro fig3   --dataset mnist --preset smoke
+    python -m repro ablate --which aggregation --dataset mnist
+    python -m repro report --dataset mnist --out report.md
+
+Each subcommand prints the corresponding paper artifact to stdout and
+optionally saves the raw run history (``--save history.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments import (
+    ascii_plot,
+    fig2_series,
+    fig3_series,
+    format_table1,
+    format_table2,
+    rounds_to_target,
+    run_algorithm,
+    run_convergence,
+    run_sparsity_sweep,
+    run_table1,
+    run_table2,
+)
+from .federated import ALGORITHMS
+from .utils.serialization import save_history
+
+DATASETS = ("mnist", "emnist", "cifar10", "cifar100")
+PRESETS = ("smoke", "small", "paper")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Sub-FedAvg reproduction driver"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, preset: bool = True) -> None:
+        p.add_argument("--dataset", choices=DATASETS, default="mnist")
+        p.add_argument("--seed", type=int, default=0)
+        if preset:
+            p.add_argument("--preset", choices=PRESETS, default="smoke")
+
+    run_cmd = sub.add_parser("run", help="run one algorithm end to end")
+    common(run_cmd)
+    run_cmd.add_argument("--algorithm", choices=ALGORITHMS, default="sub-fedavg-un")
+    run_cmd.add_argument("--save", help="write the run history JSON here")
+
+    table1 = sub.add_parser("table1", help="regenerate Table 1")
+    common(table1)
+
+    table2 = sub.add_parser("table2", help="regenerate Table 2 (analytic)")
+    common(table2, preset=False)
+
+    fig2 = sub.add_parser("fig2", help="accuracy vs pruning-percentage sweep")
+    common(fig2)
+
+    fig3 = sub.add_parser("fig3", help="accuracy vs communication rounds")
+    common(fig3)
+    fig3.add_argument("--target", type=float, default=0.8, help="accuracy target")
+
+    ablate = sub.add_parser("ablate", help="run a DESIGN.md §7 ablation")
+    common(ablate)
+    ablate.add_argument(
+        "--which",
+        choices=("aggregation", "gate", "heterogeneity", "step"),
+        default="aggregation",
+    )
+
+    report = sub.add_parser("report", help="full reproduction report to markdown")
+    common(report)
+    report.add_argument("--out", default="report.md", help="output markdown path")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "run":
+        history = run_algorithm(
+            args.dataset, args.algorithm, preset=args.preset, seed=args.seed
+        )
+        print(f"{args.algorithm} on {args.dataset} ({args.preset}):")
+        print(f"  final personalized accuracy: {history.final_accuracy:.4f}")
+        print(f"  total communication: {history.total_communication_gb:.4f} GB")
+        if args.save:
+            save_history(args.save, history)
+            print(f"  history saved to {args.save}")
+        return 0
+
+    if args.command == "table1":
+        rows = run_table1(args.dataset, preset=args.preset, seed=args.seed)
+        print(format_table1(f"{args.dataset} ({args.preset})", rows))
+        return 0
+
+    if args.command == "table2":
+        print(format_table2(args.dataset, run_table2(args.dataset, seed=args.seed)))
+        return 0
+
+    if args.command == "fig2":
+        points = run_sparsity_sweep(args.dataset, preset=args.preset, seed=args.seed)
+        curve = fig2_series(points)
+        print(f"Figure 2 — {args.dataset}: mean accuracy vs mean pruning %")
+        for sparsity, accuracy in curve:
+            print(f"  sparsity {sparsity:.2f} -> accuracy {accuracy:.3f}")
+        print(ascii_plot(curve))
+        return 0
+
+    if args.command == "fig3":
+        histories = run_convergence(args.dataset, preset=args.preset, seed=args.seed)
+        print(f"Figure 3 — {args.dataset}: accuracy per round")
+        for name, curve in fig3_series(histories).items():
+            formatted = ", ".join(f"{accuracy:.3f}" for _, accuracy in curve)
+            print(f"  {name:14s}: {formatted}")
+        print(f"rounds to {args.target:.0%}: {rounds_to_target(histories, args.target)}")
+        return 0
+
+    if args.command == "ablate":
+        return _run_ablation(args)
+
+    if args.command == "report":
+        from .experiments.report import write_report
+
+        write_report(args.out, datasets=(args.dataset,), preset=args.preset, seed=args.seed)
+        print(f"report written to {args.out}")
+        return 0
+
+    return 1  # unreachable: argparse enforces the choices
+
+
+def _run_ablation(args) -> int:
+    from .experiments.ablations import (
+        ablate_aggregation,
+        ablate_heterogeneity,
+        ablate_mask_distance_gate,
+        ablate_pruning_step,
+    )
+
+    if args.which == "heterogeneity":
+        table = ablate_heterogeneity(args.dataset, preset=args.preset, seed=args.seed)
+        print("alpha | sub-fedavg-un | fedavg")
+        for alpha, cell in table.items():
+            print(
+                f"{alpha:>5} | {cell['sub-fedavg-un']:>13.3f} | {cell['fedavg']:.3f}"
+            )
+        return 0
+
+    runner = {
+        "aggregation": ablate_aggregation,
+        "gate": ablate_mask_distance_gate,
+        "step": ablate_pruning_step,
+    }[args.which]
+    results = runner(args.dataset, preset=args.preset, seed=args.seed)
+    print("variant | accuracy | sparsity | comm (GB)")
+    for result in results:
+        print(
+            f"{result.variant} | {result.accuracy:.3f} | "
+            f"{result.sparsity:.2f} | {result.communication_gb:.4f}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""Datasets, synthetic benchmark generators and non-IID partitioning."""
+
+from .dataset import ArrayDataset, Dataset, Subset, train_val_split
+from .loader import DataLoader, full_batch
+from .partition import (
+    ClientData,
+    build_client_data,
+    dirichlet_partition,
+    label_distribution,
+    label_overlap,
+    label_test_view,
+    shard_partition,
+)
+from .stats import heterogeneity_index, label_emd, label_histogram
+from .transforms import (
+    AugmentedDataset,
+    Compose,
+    GaussianNoise,
+    Normalize,
+    RandomCrop,
+    RandomHorizontalFlip,
+    Transform,
+)
+from .synthetic import (
+    SPECS,
+    DatasetSpec,
+    class_templates,
+    generate_split,
+    load_dataset,
+    synthetic_cifar10,
+    synthetic_cifar100,
+    synthetic_emnist,
+    synthetic_mnist,
+)
+
+__all__ = [
+    "Dataset",
+    "ArrayDataset",
+    "Subset",
+    "train_val_split",
+    "DataLoader",
+    "full_batch",
+    "ClientData",
+    "shard_partition",
+    "dirichlet_partition",
+    "build_client_data",
+    "label_test_view",
+    "label_distribution",
+    "label_overlap",
+    "DatasetSpec",
+    "SPECS",
+    "class_templates",
+    "generate_split",
+    "load_dataset",
+    "synthetic_mnist",
+    "synthetic_emnist",
+    "synthetic_cifar10",
+    "synthetic_cifar100",
+    "Transform",
+    "Compose",
+    "RandomCrop",
+    "RandomHorizontalFlip",
+    "GaussianNoise",
+    "Normalize",
+    "AugmentedDataset",
+    "label_histogram",
+    "label_emd",
+    "heterogeneity_index",
+]

@@ -1,0 +1,65 @@
+"""Mini-batch iteration over datasets."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from .dataset import Dataset
+
+
+class DataLoader:
+    """Seeded, shuffling batch iterator yielding ``(images, labels)`` arrays.
+
+    Unlike PyTorch's loader this is single-process; the gather is vectorized
+    through ``Dataset.batch`` when available.  Each ``__iter__`` call draws a
+    fresh permutation from the loader's own generator, so epoch order is
+    reproducible given the seed but differs across epochs.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 10,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        seed: Optional[int] = None,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        count = len(self.dataset)
+        if self.drop_last:
+            return count // self.batch_size
+        return (count + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        count = len(self.dataset)
+        order = self._rng.permutation(count) if self.shuffle else np.arange(count)
+        stop = (count // self.batch_size) * self.batch_size if self.drop_last else count
+        for start in range(0, stop, self.batch_size):
+            indices = order[start : start + self.batch_size]
+            if len(indices) == 0:
+                continue
+            yield self._gather(indices)
+
+    def _gather(self, indices: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        if hasattr(self.dataset, "batch"):
+            return self.dataset.batch(indices)
+        xs, ys = zip(*(self.dataset[int(i)] for i in indices))
+        return np.stack(xs), np.asarray(ys)
+
+
+def full_batch(dataset: Dataset) -> Tuple[np.ndarray, np.ndarray]:
+    """Materialize an entire dataset as one ``(images, labels)`` pair."""
+    if hasattr(dataset, "batch"):
+        return dataset.batch(np.arange(len(dataset)))
+    xs, ys = zip(*(dataset[i] for i in range(len(dataset))))
+    return np.stack(xs), np.asarray(ys)

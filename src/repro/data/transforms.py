@@ -1,0 +1,130 @@
+"""Data augmentation transforms.
+
+The torchvision CIFAR pipelines the paper builds on use random crops with
+padding and horizontal flips; these are their numpy equivalents, applied
+batch-wise by :class:`AugmentedDataset`.  All transforms take an explicit
+generator so augmented runs stay reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .dataset import Dataset
+
+
+class Transform:
+    """Batch transform: ``(N, C, H, W) -> (N, C, H, W)``."""
+
+    def __call__(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+
+class Compose(Transform):
+    """Apply transforms in order."""
+
+    def __init__(self, transforms: Sequence[Transform]) -> None:
+        self.transforms = list(transforms)
+
+    def __call__(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for transform in self.transforms:
+            images = transform(images, rng)
+        return images
+
+
+class RandomHorizontalFlip(Transform):
+    """Flip each image left-right with probability ``prob``."""
+
+    def __init__(self, prob: float = 0.5) -> None:
+        if not 0.0 <= prob <= 1.0:
+            raise ValueError(f"prob must be in [0, 1], got {prob}")
+        self.prob = prob
+
+    def __call__(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        flip = rng.random(len(images)) < self.prob
+        out = images.copy()
+        out[flip] = out[flip, :, :, ::-1]
+        return out
+
+
+class RandomCrop(Transform):
+    """Zero-pad by ``padding`` then crop back to the original size."""
+
+    def __init__(self, padding: int = 4) -> None:
+        if padding < 1:
+            raise ValueError(f"padding must be >= 1, got {padding}")
+        self.padding = padding
+
+    def __call__(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        batch, channels, height, width = images.shape
+        pad = self.padding
+        padded = np.pad(images, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+        offsets = rng.integers(0, 2 * pad + 1, size=(batch, 2))
+        out = np.empty_like(images)
+        for i, (dy, dx) in enumerate(offsets):
+            out[i] = padded[i, :, dy : dy + height, dx : dx + width]
+        return out
+
+
+class GaussianNoise(Transform):
+    """Additive Gaussian noise (robustness-style augmentation)."""
+
+    def __init__(self, std: float = 0.05) -> None:
+        if std < 0:
+            raise ValueError(f"std must be non-negative, got {std}")
+        self.std = std
+
+    def __call__(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.std == 0:
+            return images
+        return images + rng.normal(scale=self.std, size=images.shape)
+
+
+class Normalize(Transform):
+    """Per-channel affine normalization ``(x - mean) / std``."""
+
+    def __init__(self, mean: Sequence[float], std: Sequence[float]) -> None:
+        self.mean = np.asarray(mean, dtype=np.float64).reshape(1, -1, 1, 1)
+        self.std = np.asarray(std, dtype=np.float64).reshape(1, -1, 1, 1)
+        if (self.std == 0).any():
+            raise ValueError("std entries must be non-zero")
+
+    def __call__(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return (images - self.mean) / self.std
+
+
+class AugmentedDataset(Dataset):
+    """Dataset view applying a transform on every (batched) access.
+
+    Augmentation is sampled fresh per access from the view's own seeded
+    generator, so epochs see different crops/flips but runs remain
+    reproducible.
+    """
+
+    def __init__(self, base: Dataset, transform: Transform, seed: int = 0) -> None:
+        self.base = base
+        self.transform = transform
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        return len(self.base)
+
+    def __getitem__(self, index: int):
+        image, label = self.base[index]
+        augmented = self.transform(image[None], self._rng)[0]
+        return augmented, label
+
+    @property
+    def labels(self) -> np.ndarray:
+        return self.base.labels
+
+    def batch(self, indices) -> Tuple[np.ndarray, np.ndarray]:
+        if hasattr(self.base, "batch"):
+            images, labels = self.base.batch(indices)
+        else:
+            pairs = [self.base[int(i)] for i in indices]
+            images = np.stack([p[0] for p in pairs])
+            labels = np.asarray([p[1] for p in pairs])
+        return self.transform(images, self._rng), labels

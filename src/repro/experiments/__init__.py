@@ -1,0 +1,54 @@
+"""Experiment drivers reproducing every table and figure of the paper."""
+
+from .presets import PRESETS, ScalePreset, get_preset
+from .runner import federation_config, format_table, run_algorithm
+from .table1 import Table1Row, format_table1, run_table1
+from .table2 import Table2Row, format_table2, run_table2, uniform_channel_mask
+from .ablations import (
+    AblationResult,
+    ablate_aggregation,
+    ablate_heterogeneity,
+    ablate_mask_distance_gate,
+    ablate_pruning_step,
+)
+from .figures import (
+    SparsitySweepPoint,
+    ascii_plot,
+    fig1_series,
+    fig2_series,
+    fig3_series,
+    rounds_to_target,
+    run_convergence,
+    run_fig1_trajectory,
+    run_sparsity_sweep,
+)
+
+__all__ = [
+    "PRESETS",
+    "ScalePreset",
+    "get_preset",
+    "run_algorithm",
+    "federation_config",
+    "format_table",
+    "Table1Row",
+    "run_table1",
+    "format_table1",
+    "Table2Row",
+    "run_table2",
+    "format_table2",
+    "uniform_channel_mask",
+    "SparsitySweepPoint",
+    "run_sparsity_sweep",
+    "fig1_series",
+    "fig2_series",
+    "run_convergence",
+    "run_fig1_trajectory",
+    "fig3_series",
+    "rounds_to_target",
+    "ascii_plot",
+    "AblationResult",
+    "ablate_aggregation",
+    "ablate_mask_distance_gate",
+    "ablate_heterogeneity",
+    "ablate_pruning_step",
+]

@@ -1,0 +1,64 @@
+"""Scale presets for the paper's experiments.
+
+The paper's runs (100 clients, 300-500 rounds, full 50k-example datasets)
+take GPU-days; the presets here reproduce the same protocol at three
+scales.  ``smoke`` finishes in seconds per algorithm and is what the
+benchmark suite runs; ``small`` gives more faithful numbers in minutes;
+``paper`` is the full protocol for completeness (expect hours on CPU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class ScalePreset:
+    """Federation sizing shared by every experiment driver."""
+
+    name: str
+    num_clients: int
+    rounds: int
+    sample_fraction: float
+    n_train: int
+    n_test: int
+    local_epochs: int
+    eval_every: int = 0
+
+
+PRESETS: Dict[str, ScalePreset] = {
+    "smoke": ScalePreset(
+        name="smoke",
+        num_clients=8,
+        rounds=4,
+        sample_fraction=0.5,
+        n_train=480,
+        n_test=240,
+        local_epochs=3,
+    ),
+    "small": ScalePreset(
+        name="small",
+        num_clients=20,
+        rounds=15,
+        sample_fraction=0.3,
+        n_train=2000,
+        n_test=600,
+        local_epochs=5,
+    ),
+    "paper": ScalePreset(
+        name="paper",
+        num_clients=100,
+        rounds=500,
+        sample_fraction=0.1,
+        n_train=50000,
+        n_test=10000,
+        local_epochs=5,
+    ),
+}
+
+
+def get_preset(name: str) -> ScalePreset:
+    if name not in PRESETS:
+        raise KeyError(f"unknown preset {name!r}; choose from {sorted(PRESETS)}")
+    return PRESETS[name]

@@ -1,0 +1,98 @@
+"""Shared experiment-running machinery."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from ..federated import FederationConfig, History, LocalTrainConfig, build_federation
+from ..pruning import StructuredConfig, UnstructuredConfig
+from .presets import ScalePreset, get_preset
+
+
+def federation_config(
+    dataset: str,
+    algorithm: str,
+    preset: ScalePreset,
+    seed: int = 0,
+    unstructured: Optional[UnstructuredConfig] = None,
+    structured: Optional[StructuredConfig] = None,
+    eval_every: Optional[int] = None,
+    **overrides,
+) -> FederationConfig:
+    """Translate a scale preset into a full :class:`FederationConfig`."""
+    local = LocalTrainConfig(epochs=preset.local_epochs)
+    return FederationConfig(
+        dataset=dataset,
+        algorithm=algorithm,
+        num_clients=preset.num_clients,
+        rounds=preset.rounds,
+        sample_fraction=preset.sample_fraction,
+        n_train=preset.n_train,
+        n_test=preset.n_test,
+        seed=seed,
+        eval_every=preset.eval_every if eval_every is None else eval_every,
+        local=local,
+        unstructured=unstructured,
+        structured=structured,
+        **overrides,
+    )
+
+
+def run_algorithm(
+    dataset: str,
+    algorithm: str,
+    preset: str = "smoke",
+    seed: int = 0,
+    unstructured: Optional[UnstructuredConfig] = None,
+    structured: Optional[StructuredConfig] = None,
+    eval_every: Optional[int] = None,
+    **overrides,
+) -> History:
+    """Run one (dataset, algorithm) cell of the evaluation grid."""
+    config = federation_config(
+        dataset,
+        algorithm,
+        get_preset(preset),
+        seed=seed,
+        unstructured=unstructured,
+        structured=structured,
+        eval_every=eval_every,
+        **overrides,
+    )
+    trainer = build_federation(**_as_kwargs(config))
+    return trainer.run()
+
+
+def _as_kwargs(config: FederationConfig) -> dict:
+    return {
+        "dataset": config.dataset,
+        "algorithm": config.algorithm,
+        "num_clients": config.num_clients,
+        "rounds": config.rounds,
+        "sample_fraction": config.sample_fraction,
+        "shards_per_client": config.shards_per_client,
+        "n_train": config.n_train,
+        "n_test": config.n_test,
+        "val_fraction": config.val_fraction,
+        "seed": config.seed,
+        "eval_every": config.eval_every,
+        "partition": config.partition,
+        "dirichlet_alpha": config.dirichlet_alpha,
+        "local": config.local,
+        "unstructured": config.unstructured,
+        "structured": config.structured,
+    }
+
+
+def format_table(headers, rows) -> str:
+    """Plain-text table with column alignment (paper-style output)."""
+    columns = [headers, *[[str(cell) for cell in row] for row in rows]]
+    widths = [max(len(row[i]) for row in columns) for i in range(len(headers))]
+    lines = []
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in columns[1:]:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""Federated learning core: clients, aggregation, trainers and accounting."""
+
+from .aggregation import (
+    fedavg_average,
+    intersection_average,
+    partial_average,
+    zero_fill_average,
+)
+from .builder import (
+    ALGORITHMS,
+    FederationConfig,
+    build_federation,
+    build_trainer,
+    make_clients,
+    model_factory,
+)
+from .client import FederatedClient, LocalTrainConfig, LocalTrainResult
+from .metrics import History, RoundRecord
+from .sampler import ClientSampler, FixedSampler
+from .trainers import (
+    FedAvg,
+    FedMTL,
+    FedProx,
+    FederatedTrainer,
+    LGFedAvg,
+    Standalone,
+    SubFedAvgHy,
+    SubFedAvgUn,
+)
+from .compression import (
+    Compressor,
+    FedAvgCompressed,
+    IdentityCompressor,
+    QuantizationCompressor,
+    RandomMaskCompressor,
+    TopKCompressor,
+)
+from .robust import (
+    AvailabilityModel,
+    CorruptionModel,
+    RobustFedAvg,
+    StragglerModel,
+    median_average,
+    trimmed_mean_average,
+)
+from .trainers.finetune import FedAvgFinetune
+from .simulation import (
+    EDGE_PHONE,
+    RASPBERRY_PI,
+    WORKSTATION,
+    DeviceProfile,
+    WallClockModel,
+    compare_time_to_accuracy,
+    time_to_accuracy,
+)
+from .checkpoint import load_checkpoint, run_with_checkpoints, save_checkpoint
+from .evaluation import (
+    FairnessReport,
+    confusion_matrix,
+    fairness_report,
+    model_confusion,
+    per_class_accuracy,
+)
+from . import accounting
+
+__all__ = [
+    "FederatedClient",
+    "LocalTrainConfig",
+    "LocalTrainResult",
+    "ClientSampler",
+    "FixedSampler",
+    "History",
+    "RoundRecord",
+    "fedavg_average",
+    "intersection_average",
+    "partial_average",
+    "zero_fill_average",
+    "FederatedTrainer",
+    "FedAvg",
+    "FedProx",
+    "LGFedAvg",
+    "FedMTL",
+    "Standalone",
+    "SubFedAvgUn",
+    "SubFedAvgHy",
+    "FederationConfig",
+    "build_federation",
+    "build_trainer",
+    "make_clients",
+    "model_factory",
+    "ALGORITHMS",
+    "accounting",
+    "Compressor",
+    "IdentityCompressor",
+    "TopKCompressor",
+    "RandomMaskCompressor",
+    "QuantizationCompressor",
+    "FedAvgCompressed",
+    "AvailabilityModel",
+    "CorruptionModel",
+    "StragglerModel",
+    "RobustFedAvg",
+    "FedAvgFinetune",
+    "median_average",
+    "trimmed_mean_average",
+    "DeviceProfile",
+    "WallClockModel",
+    "time_to_accuracy",
+    "compare_time_to_accuracy",
+    "EDGE_PHONE",
+    "RASPBERRY_PI",
+    "WORKSTATION",
+    "save_checkpoint",
+    "load_checkpoint",
+    "run_with_checkpoints",
+    "confusion_matrix",
+    "per_class_accuracy",
+    "model_confusion",
+    "FairnessReport",
+    "fairness_report",
+]

@@ -1,0 +1,25 @@
+"""Communication-cost and FLOP accounting."""
+
+from .communication import (
+    FLOAT_BITS,
+    MASK_BITS,
+    RoundTraffic,
+    closed_form_cost,
+    dense_exchange,
+    partial_exchange,
+    sparse_exchange,
+)
+from .flops import dense_conv_flops, flop_reduction_factor, pruned_conv_flops
+
+__all__ = [
+    "FLOAT_BITS",
+    "MASK_BITS",
+    "RoundTraffic",
+    "dense_exchange",
+    "sparse_exchange",
+    "partial_exchange",
+    "closed_form_cost",
+    "dense_conv_flops",
+    "pruned_conv_flops",
+    "flop_reduction_factor",
+]

@@ -1,0 +1,69 @@
+"""Communication-cost accounting.
+
+Implements the paper's §4.2.2 cost model::
+
+    Cost = R × B × |W| × 2
+
+where ``R`` is the number of communication rounds, ``B`` the bits per
+exchanged value (32 for floats, 1 for binary mask entries) and ``|W|`` the
+number of values exchanged per round; the ×2 counts the uplink and the
+downlink.  The meter accrues actual per-round traffic, so algorithms whose
+sparsity ramps up over time (Sub-FedAvg) are charged their true cost, not
+the final-rate approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+FLOAT_BITS = 32
+MASK_BITS = 1
+
+
+@dataclass
+class RoundTraffic:
+    """Bytes moved in one round (already summed over sampled clients)."""
+
+    uploaded_bytes: float = 0.0
+    downloaded_bytes: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.uploaded_bytes + self.downloaded_bytes
+
+
+def dense_exchange(num_params: int, num_clients: int) -> RoundTraffic:
+    """Cost of a full-model FedAvg-style round: 32-bit floats both ways."""
+    one_way = num_clients * num_params * FLOAT_BITS / 8.0
+    return RoundTraffic(uploaded_bytes=one_way, downloaded_bytes=one_way)
+
+
+def sparse_exchange(
+    kept_params: int, total_mask_bits: int, num_params_down: int
+) -> RoundTraffic:
+    """Cost of one Sub-FedAvg client exchange.
+
+    Uplink: the client's kept parameters as 32-bit floats plus its binary
+    mask at 1 bit per coordinate.  Downlink: the values of the client's
+    subnetwork (the server knows the client's mask from the previous round,
+    so only kept coordinates travel down).
+    """
+    up = (kept_params * FLOAT_BITS + total_mask_bits * MASK_BITS) / 8.0
+    down = num_params_down * FLOAT_BITS / 8.0
+    return RoundTraffic(uploaded_bytes=up, downloaded_bytes=down)
+
+
+def partial_exchange(num_params_shared: int, num_clients: int) -> RoundTraffic:
+    """Cost of exchanging only a subset of layers (LG-FedAvg-style)."""
+    return dense_exchange(num_params_shared, num_clients)
+
+
+def closed_form_cost(
+    rounds: int, params_per_round: int, clients_per_round: int, bits: int = FLOAT_BITS
+) -> float:
+    """The paper's closed-form ``R × B × |W| × 2`` in bytes.
+
+    Useful for sanity-checking the meter: with dense exchanges the accrued
+    total must equal this expression exactly.
+    """
+    return rounds * clients_per_round * params_per_round * bits * 2 / 8.0

@@ -1,0 +1,35 @@
+"""FLOP accounting (the paper's §4.2.3 convention: conv operations only)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...models.base import ConvNet
+from ...pruning.structured import ChannelMask, ReductionReport, reduction_report
+
+
+def dense_conv_flops(model: ConvNet, input_size: int) -> int:
+    """Multiply-accumulate count of all convolutions at full width."""
+    return reduction_report(model, None, input_size).dense_flops
+
+
+def pruned_conv_flops(model: ConvNet, channels: ChannelMask, input_size: int) -> int:
+    """Conv MACs remaining after structured pruning by ``channels``."""
+    return reduction_report(model, channels, input_size).pruned_flops
+
+
+def flop_reduction_factor(
+    model: ConvNet, channels: Optional[ChannelMask], input_size: int
+) -> float:
+    """Speed-up factor dense/pruned (1.0 when no channels are pruned)."""
+    if channels is None:
+        return 1.0
+    return reduction_report(model, channels, input_size).flop_reduction
+
+
+__all__ = [
+    "dense_conv_flops",
+    "pruned_conv_flops",
+    "flop_reduction_factor",
+    "ReductionReport",
+]

@@ -1,0 +1,149 @@
+"""One-call construction of a complete federation.
+
+This is the library's main entry point: pick a dataset family, an
+algorithm and a scale, get back a ready-to-run trainer.
+
+Example
+-------
+>>> from repro.federated import build_federation
+>>> trainer = build_federation(
+...     dataset="cifar10", algorithm="sub-fedavg-un",
+...     num_clients=10, rounds=5, seed=0,
+... )
+>>> history = trainer.run()
+>>> history.final_accuracy  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional
+
+from ..data import build_client_data, load_dataset
+from ..data.synthetic import SPECS
+from ..models import create_model
+from ..models.base import ConvNet
+from ..pruning import StructuredConfig, UnstructuredConfig
+from .client import FederatedClient, LocalTrainConfig
+from .trainers.base import FederatedTrainer
+from .trainers.fedavg import FedAvg, FedProx
+from .trainers.lgfedavg import LGFedAvg
+from .trainers.mtl import FedMTL
+from .trainers.standalone import Standalone
+from .trainers.subfedavg import SubFedAvgHy, SubFedAvgUn
+
+ALGORITHMS = (
+    "standalone",
+    "fedavg",
+    "fedprox",
+    "lg-fedavg",
+    "mtl",
+    "sub-fedavg-un",
+    "sub-fedavg-hy",
+)
+
+
+@dataclass(frozen=True)
+class FederationConfig:
+    """Everything needed to set up one experiment run."""
+
+    dataset: str = "cifar10"
+    algorithm: str = "sub-fedavg-un"
+    num_clients: int = 100
+    rounds: int = 100
+    sample_fraction: float = 0.1
+    shards_per_client: int = 2
+    n_train: int = 2000
+    n_test: int = 500
+    val_fraction: float = 0.1
+    seed: int = 0
+    eval_every: int = 0
+    partition: str = "shard"
+    dirichlet_alpha: float = 0.5
+    local: LocalTrainConfig = LocalTrainConfig()
+    unstructured: Optional[UnstructuredConfig] = None
+    structured: Optional[StructuredConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.dataset not in SPECS:
+            raise KeyError(f"unknown dataset {self.dataset!r}")
+        if self.algorithm not in ALGORITHMS:
+            raise KeyError(
+                f"unknown algorithm {self.algorithm!r}; choose from {ALGORITHMS}"
+            )
+
+
+def make_clients(config: FederationConfig) -> List[FederatedClient]:
+    """Build the client population for ``config`` (data + model replicas)."""
+    train_set, test_set = load_dataset(
+        config.dataset, config.n_train, config.n_test, seed=config.seed
+    )
+    bundles = build_client_data(
+        train_set,
+        test_set,
+        num_clients=config.num_clients,
+        shards_per_client=config.shards_per_client,
+        val_fraction=config.val_fraction,
+        seed=config.seed,
+        partition=config.partition,
+        dirichlet_alpha=config.dirichlet_alpha,
+    )
+    local = config.local
+    if config.algorithm == "fedprox" and local.prox_mu <= 0:
+        local = replace(local, prox_mu=0.01)
+    if config.algorithm == "mtl" and local.mtl_lambda <= 0:
+        local = replace(local, mtl_lambda=0.1)
+    model_fn = model_factory(config)
+    return [
+        FederatedClient(bundle, model_fn, local, seed=config.seed)
+        for bundle in bundles
+    ]
+
+
+def model_factory(config: FederationConfig) -> Callable[[], ConvNet]:
+    """Factory producing identically initialized models (shared theta_0)."""
+    dataset, seed = config.dataset, config.seed
+    return lambda: create_model(dataset, seed=seed)
+
+
+def build_trainer(
+    config: FederationConfig, clients: List[FederatedClient]
+) -> FederatedTrainer:
+    """Wire the configured algorithm's trainer over prepared clients."""
+    model_fn = model_factory(config)
+    common = dict(
+        clients=clients,
+        model_fn=model_fn,
+        rounds=config.rounds,
+        sample_fraction=config.sample_fraction,
+        seed=config.seed,
+        eval_every=config.eval_every,
+    )
+    if config.algorithm == "standalone":
+        return Standalone(**common)
+    if config.algorithm == "fedavg":
+        return FedAvg(**common)
+    if config.algorithm == "fedprox":
+        return FedProx(**common)
+    if config.algorithm == "lg-fedavg":
+        return LGFedAvg(**common)
+    if config.algorithm == "mtl":
+        return FedMTL(**common)
+    if config.algorithm == "sub-fedavg-un":
+        return SubFedAvgUn(
+            unstructured=config.unstructured or UnstructuredConfig(), **common
+        )
+    if config.algorithm == "sub-fedavg-hy":
+        return SubFedAvgHy(
+            unstructured=config.unstructured or UnstructuredConfig(),
+            structured=config.structured or StructuredConfig(),
+            **common,
+        )
+    raise KeyError(f"unknown algorithm {config.algorithm!r}")
+
+
+def build_federation(**kwargs) -> FederatedTrainer:
+    """Convenience: ``FederationConfig(**kwargs)`` → clients → trainer."""
+    config = FederationConfig(**kwargs)
+    clients = make_clients(config)
+    return build_trainer(config, clients)

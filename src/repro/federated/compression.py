@@ -1,0 +1,178 @@
+"""Communication-compression baselines (the paper's related work, §2).
+
+The paper positions Sub-FedAvg against the classic cost-reduction line:
+structured/sketched updates (Konečný et al. 2016) and gradient compression
+(Lin et al. 2017).  This module implements three representative update
+compressors plus a FedAvg variant that uses them, so the repository can
+regenerate the "compression vs pruning" comparison:
+
+* :class:`TopKCompressor` — keep the largest-magnitude fraction of the
+  update (deep gradient compression style),
+* :class:`RandomMaskCompressor` — random sparsification (structured-updates
+  style),
+* :class:`QuantizationCompressor` — uniform b-bit quantization.
+
+Compressors act on *updates* (client state minus global state), which is
+where sparsity/quantization tolerance actually lives; the trainer
+reconstructs states server-side and charges the compressed bit count to the
+communication meter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..pruning.unstructured import _rank_threshold
+from .accounting.communication import FLOAT_BITS, MASK_BITS, RoundTraffic
+from .aggregation import fedavg_average
+from .metrics import RoundRecord
+from .trainers.fedavg import FedAvg
+
+State = Dict[str, np.ndarray]
+
+
+class Compressor:
+    """Lossy update codec: ``encode`` returns the decoded update + its bits.
+
+    Simulation-friendly contract: instead of materializing a wire format we
+    return the *post-roundtrip* update (what the server would decode) and
+    the exact number of bits a real encoding would occupy.
+    """
+
+    def encode(self, update: State) -> Tuple[State, float]:
+        raise NotImplementedError
+
+
+class IdentityCompressor(Compressor):
+    """No-op codec: full-precision update, 32 bits per value."""
+
+    def encode(self, update: State) -> Tuple[State, float]:
+        bits = sum(value.size for value in update.values()) * FLOAT_BITS
+        return {name: value.copy() for name, value in update.items()}, float(bits)
+
+
+class TopKCompressor(Compressor):
+    """Keep the top ``fraction`` of update coordinates by magnitude.
+
+    Wire format modelled as 32-bit values for survivors plus a 1-bit
+    occupancy mask — the same convention the paper uses for Sub-FedAvg's
+    masks, which keeps the comparison apples-to-apples.
+    """
+
+    def __init__(self, fraction: float) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        self.fraction = fraction
+
+    def encode(self, update: State) -> Tuple[State, float]:
+        magnitudes = np.concatenate([np.abs(v).ravel() for v in update.values()])
+        threshold = _rank_threshold(magnitudes, 1.0 - self.fraction)
+        encoded: State = {}
+        kept = 0
+        total = 0
+        for name, value in update.items():
+            mask = np.abs(value) > threshold
+            encoded[name] = value * mask
+            kept += int(mask.sum())
+            total += value.size
+        bits = kept * FLOAT_BITS + total * MASK_BITS
+        return encoded, float(bits)
+
+
+class RandomMaskCompressor(Compressor):
+    """Random sparsification with unbiased rescaling (structured updates).
+
+    Each coordinate survives independently with probability ``fraction``
+    and is scaled by ``1/fraction`` so the expected update is unchanged.
+    """
+
+    def __init__(self, fraction: float, seed: int = 0) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        self.fraction = fraction
+        self._rng = np.random.default_rng(seed)
+
+    def encode(self, update: State) -> Tuple[State, float]:
+        encoded: State = {}
+        kept = 0
+        total = 0
+        for name, value in update.items():
+            mask = self._rng.random(value.shape) < self.fraction
+            encoded[name] = value * mask / self.fraction
+            kept += int(mask.sum())
+            total += value.size
+        bits = kept * FLOAT_BITS + total * MASK_BITS
+        return encoded, float(bits)
+
+
+class QuantizationCompressor(Compressor):
+    """Uniform per-tensor quantization to ``bits`` bits per value."""
+
+    def __init__(self, bits: int = 8) -> None:
+        if not 1 <= bits <= 32:
+            raise ValueError(f"bits must be in [1, 32], got {bits}")
+        self.bits = bits
+        self.levels = 2 ** bits - 1
+
+    def encode(self, update: State) -> Tuple[State, float]:
+        encoded: State = {}
+        total_bits = 0.0
+        for name, value in update.items():
+            low, high = float(value.min()), float(value.max())
+            span = high - low
+            if span == 0.0:
+                encoded[name] = value.copy()
+            else:
+                codes = np.round((value - low) / span * self.levels)
+                encoded[name] = low + codes / self.levels * span
+            # b bits per value + two 32-bit floats (min/max) per tensor.
+            total_bits += value.size * self.bits + 2 * FLOAT_BITS
+        return encoded, total_bits
+
+
+class FedAvgCompressed(FedAvg):
+    """FedAvg whose uplink carries compressed *updates* instead of states.
+
+    Downlink stays full precision (the asymmetric-bandwidth setting of
+    §2: uplink is the bottleneck).  The server decodes each client's
+    update, adds it to the global weights and averages as usual.
+    """
+
+    algorithm_name = "fedavg-compressed"
+
+    def __init__(self, *args, compressor: Optional[Compressor] = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.compressor = compressor if compressor is not None else IdentityCompressor()
+
+    def _round(self, round_index: int, sampled: List[int]) -> RoundRecord:
+        states = []
+        weights = []
+        losses = []
+        uplink_bits = 0.0
+        for index in sampled:
+            client = self.clients[index]
+            client.load_global(self.global_state)
+            result = client.train_local()
+            losses.append(result.mean_loss)
+            update = {
+                name: value - self.global_state[name]
+                for name, value in client.state_dict().items()
+            }
+            decoded, bits = self.compressor.encode(update)
+            uplink_bits += bits
+            states.append(
+                {name: self.global_state[name] + decoded[name] for name in decoded}
+            )
+            weights.append(result.num_examples)
+
+        self.global_state = fedavg_average(states, weights)
+        downlink = len(sampled) * self.total_params * FLOAT_BITS / 8.0
+        return RoundRecord(
+            round_index=round_index,
+            sampled_clients=sampled,
+            train_loss=float(np.mean(losses)),
+            uploaded_bytes=uplink_bits / 8.0,
+            downloaded_bytes=downlink,
+        )

@@ -1,0 +1,94 @@
+"""Evaluation metrics beyond mean accuracy.
+
+The paper reports "average accuracy across all clients"; a personalization
+method's real story also lives in the *distribution* over clients — a
+global model can have fine mean accuracy while starving the clients whose
+data it underserves (exactly FedAvg's failure mode in Table 1).  This
+module provides per-class metrics and a client-fairness report used by the
+fairness benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..data.loader import full_batch
+from ..tensor import Tensor
+
+
+def confusion_matrix(
+    predictions: np.ndarray, targets: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """Counts matrix ``M[i, j]`` = examples of true class i predicted j."""
+    predictions = np.asarray(predictions)
+    targets = np.asarray(targets)
+    if predictions.shape != targets.shape:
+        raise ValueError("predictions and targets must have the same shape")
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (targets, predictions), 1)
+    return matrix
+
+
+def per_class_accuracy(matrix: np.ndarray) -> np.ndarray:
+    """Recall per class from a confusion matrix (NaN for absent classes)."""
+    totals = matrix.sum(axis=1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(totals > 0, np.diag(matrix) / totals, np.nan)
+
+
+def model_confusion(model, dataset, num_classes: int, batch_size: int = 256) -> np.ndarray:
+    """Confusion matrix of ``model`` over ``dataset`` (eval mode)."""
+    model.eval()
+    images, labels = full_batch(dataset)
+    predictions = np.empty(len(labels), dtype=np.int64)
+    for start in range(0, len(labels), batch_size):
+        chunk = images[start : start + batch_size]
+        predictions[start : start + len(chunk)] = (
+            model(Tensor(chunk)).data.argmax(axis=1)
+        )
+    model.train()
+    return confusion_matrix(predictions, labels, num_classes)
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """Summary of a per-client accuracy distribution."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    percentile_10: float
+    percentile_90: float
+    below_half: int  # clients under 50% accuracy — the "left behind" count
+
+    @classmethod
+    def from_accuracies(cls, accuracies: Mapping[int, float]) -> "FairnessReport":
+        if not accuracies:
+            raise ValueError("no client accuracies to summarize")
+        values = np.asarray(list(accuracies.values()), dtype=np.float64)
+        return cls(
+            mean=float(values.mean()),
+            std=float(values.std()),
+            minimum=float(values.min()),
+            maximum=float(values.max()),
+            percentile_10=float(np.percentile(values, 10)),
+            percentile_90=float(np.percentile(values, 90)),
+            below_half=int((values < 0.5).sum()),
+        )
+
+    def describe(self) -> str:
+        return (
+            f"mean={self.mean:.3f} std={self.std:.3f} "
+            f"min={self.minimum:.3f} p10={self.percentile_10:.3f} "
+            f"p90={self.percentile_90:.3f} max={self.maximum:.3f} "
+            f"clients<50%: {self.below_half}"
+        )
+
+
+def fairness_report(history) -> FairnessReport:
+    """Fairness summary of a finished run's per-client accuracies."""
+    return FairnessReport.from_accuracies(history.final_per_client_accuracy)

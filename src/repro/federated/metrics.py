@@ -1,0 +1,55 @@
+"""Per-round metrics and run history."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class RoundRecord:
+    """Everything measured in one communication round."""
+
+    round_index: int
+    sampled_clients: List[int]
+    train_loss: float
+    mean_accuracy: Optional[float] = None  # personalized test accuracy (all clients)
+    sampled_accuracy: Optional[float] = None  # accuracy of this round's participants
+    mean_sparsity: float = 0.0  # avg unstructured sparsity over clients
+    mean_channel_sparsity: float = 0.0  # avg channel sparsity over clients
+    uploaded_bytes: float = 0.0
+    downloaded_bytes: float = 0.0
+
+
+@dataclass
+class History:
+    """Chronological record of a federated run plus final summaries."""
+
+    algorithm: str
+    rounds: List[RoundRecord] = field(default_factory=list)
+    final_accuracy: Optional[float] = None
+    final_per_client_accuracy: Dict[int, float] = field(default_factory=dict)
+    total_communication_bytes: float = 0.0
+
+    def append(self, record: RoundRecord) -> None:
+        self.rounds.append(record)
+        self.total_communication_bytes += record.uploaded_bytes + record.downloaded_bytes
+
+    def accuracy_curve(self) -> List[tuple]:
+        """(round, mean accuracy) pairs for rounds where accuracy was measured."""
+        return [
+            (record.round_index, record.mean_accuracy)
+            for record in self.rounds
+            if record.mean_accuracy is not None
+        ]
+
+    def rounds_to_accuracy(self, target: float) -> Optional[int]:
+        """First round at which mean accuracy reached ``target`` (or None)."""
+        for round_index, accuracy in self.accuracy_curve():
+            if accuracy >= target:
+                return round_index
+        return None
+
+    @property
+    def total_communication_gb(self) -> float:
+        return self.total_communication_bytes / 1e9

@@ -1,0 +1,192 @@
+"""Robustness extensions: client availability and corrupted updates.
+
+§1.1 lists practical FL issues the paper scopes out — "availability of the
+clients, corrupted updates by the clients" — that a deployable release of
+this system still needs.  This module provides:
+
+* :class:`AvailabilityModel` — each sampled client independently drops out
+  of the round with a configurable probability (at least one always
+  participates, as a round with zero uploads is undefined),
+* :func:`median_average` / :func:`trimmed_mean_average` — coordinate-wise
+  robust aggregators that bound the influence of corrupted updates,
+* :class:`CorruptionModel` — fault injection: replaces a client's uploaded
+  state with large Gaussian noise with probability ``rate``,
+* :class:`RobustFedAvg` — FedAvg wired with all three, used by the
+  failure-injection tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .accounting.communication import dense_exchange
+from .aggregation import fedavg_average
+from .metrics import RoundRecord
+from .trainers.fedavg import FedAvg
+
+State = Dict[str, np.ndarray]
+
+
+class AvailabilityModel:
+    """Independent per-round client dropout."""
+
+    def __init__(self, dropout_prob: float, seed: int = 0) -> None:
+        if not 0.0 <= dropout_prob < 1.0:
+            raise ValueError(f"dropout_prob must be in [0, 1), got {dropout_prob}")
+        self.dropout_prob = dropout_prob
+        self._rng = np.random.default_rng(seed)
+
+    def filter(self, sampled: Sequence[int]) -> List[int]:
+        """Clients that actually show up this round (never empty)."""
+        survivors = [
+            index for index in sampled if self._rng.random() >= self.dropout_prob
+        ]
+        if not survivors:
+            keep = self._rng.choice(len(sampled))
+            survivors = [sampled[int(keep)]]
+        return survivors
+
+
+class StragglerModel:
+    """System heterogeneity: per-client compute budgets (FedProx's setting).
+
+    Each client is assigned a fixed local-epoch budget drawn uniformly from
+    ``[min_epochs, max_epochs]``; stragglers complete fewer epochs per
+    round.  FedProx's proximal term is motivated by exactly this partial
+    work — the tests pair the two.
+    """
+
+    def __init__(
+        self,
+        num_clients: int,
+        min_epochs: int = 1,
+        max_epochs: int = 5,
+        seed: int = 0,
+    ) -> None:
+        if not 1 <= min_epochs <= max_epochs:
+            raise ValueError(
+                f"need 1 <= min_epochs <= max_epochs, got {min_epochs}..{max_epochs}"
+            )
+        rng = np.random.default_rng(seed)
+        self.budgets = rng.integers(min_epochs, max_epochs + 1, size=num_clients)
+
+    def epochs_for(self, client_id: int) -> int:
+        return int(self.budgets[client_id])
+
+
+class CorruptionModel:
+    """Byzantine-style fault injection on uploaded states."""
+
+    def __init__(self, rate: float, scale: float = 10.0, seed: int = 0) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self.scale = scale
+        self._rng = np.random.default_rng(seed)
+        self.corrupted_rounds: List[int] = []
+
+    def maybe_corrupt(self, state: State) -> State:
+        if self._rng.random() >= self.rate:
+            return state
+        return {
+            name: self._rng.normal(scale=self.scale, size=value.shape)
+            for name, value in state.items()
+        }
+
+
+def median_average(states: Sequence[State]) -> State:
+    """Coordinate-wise median — tolerates up to half the updates corrupted."""
+    if not states:
+        raise ValueError("no client states to aggregate")
+    result: State = {}
+    for key in states[0].keys():
+        stacked = np.stack([state[key] for state in states])
+        result[key] = np.median(stacked, axis=0)
+    return result
+
+
+def trimmed_mean_average(states: Sequence[State], trim_fraction: float = 0.1) -> State:
+    """Coordinate-wise mean after trimming the extremes on both sides.
+
+    ``trim_fraction`` of the values are removed at each end (rounded down);
+    with fewer than three clients it degrades to the plain mean.
+    """
+    if not states:
+        raise ValueError("no client states to aggregate")
+    if not 0.0 <= trim_fraction < 0.5:
+        raise ValueError(f"trim_fraction must be in [0, 0.5), got {trim_fraction}")
+    count = len(states)
+    trim = int(np.floor(trim_fraction * count))
+    result: State = {}
+    for key in states[0].keys():
+        stacked = np.sort(np.stack([state[key] for state in states]), axis=0)
+        if trim > 0 and count - 2 * trim >= 1:
+            stacked = stacked[trim : count - trim]
+        result[key] = stacked.mean(axis=0)
+    return result
+
+
+class RobustFedAvg(FedAvg):
+    """FedAvg with dropout, fault injection and a robust aggregator.
+
+    ``aggregation`` selects ``"mean"`` (plain FedAvg), ``"median"`` or
+    ``"trimmed"``.  Weighted averaging is only meaningful for the plain
+    mean; the robust rules are unweighted by construction.
+    """
+
+    algorithm_name = "robust-fedavg"
+
+    def __init__(
+        self,
+        *args,
+        availability: Optional[AvailabilityModel] = None,
+        corruption: Optional[CorruptionModel] = None,
+        aggregation: str = "median",
+        trim_fraction: float = 0.1,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        if aggregation not in ("mean", "median", "trimmed"):
+            raise ValueError(
+                f"aggregation must be mean/median/trimmed, got {aggregation!r}"
+            )
+        self.availability = availability
+        self.corruption = corruption
+        self.aggregation = aggregation
+        self.trim_fraction = trim_fraction
+
+    def _round(self, round_index: int, sampled: List[int]) -> RoundRecord:
+        if self.availability is not None:
+            sampled = self.availability.filter(sampled)
+
+        states = []
+        weights = []
+        losses = []
+        for index in sampled:
+            client = self.clients[index]
+            client.load_global(self.global_state)
+            result = client.train_local()
+            losses.append(result.mean_loss)
+            state = client.state_dict()
+            if self.corruption is not None:
+                state = self.corruption.maybe_corrupt(state)
+            states.append(state)
+            weights.append(result.num_examples)
+
+        if self.aggregation == "mean":
+            self.global_state = fedavg_average(states, weights)
+        elif self.aggregation == "median":
+            self.global_state = median_average(states)
+        else:
+            self.global_state = trimmed_mean_average(states, self.trim_fraction)
+
+        traffic = dense_exchange(self.total_params, len(sampled))
+        return RoundRecord(
+            round_index=round_index,
+            sampled_clients=list(sampled),
+            train_loss=float(np.mean(losses)),
+            uploaded_bytes=traffic.uploaded_bytes,
+            downloaded_bytes=traffic.downloaded_bytes,
+        )

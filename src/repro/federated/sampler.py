@@ -1,0 +1,58 @@
+"""Client sampling per communication round."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+class ClientSampler:
+    """Uniformly sample ``max(1, round(K * N))`` clients without replacement.
+
+    Matches the paper's ``k = max(K × N)`` with sampling rate ``K``: at
+    every round a fresh random subset of the ``N`` available clients is
+    drawn from the sampler's own seeded generator.
+    """
+
+    def __init__(
+        self,
+        num_clients: int,
+        sample_fraction: float = 0.1,
+        seed: Optional[int] = None,
+    ) -> None:
+        if num_clients <= 0:
+            raise ValueError(f"num_clients must be positive, got {num_clients}")
+        if not 0.0 < sample_fraction <= 1.0:
+            raise ValueError(f"sample_fraction must be in (0, 1], got {sample_fraction}")
+        self.num_clients = num_clients
+        self.sample_fraction = sample_fraction
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def clients_per_round(self) -> int:
+        return max(1, int(round(self.sample_fraction * self.num_clients)))
+
+    def sample(self) -> List[int]:
+        """Indices of this round's participants (sorted for determinism)."""
+        chosen = self._rng.choice(
+            self.num_clients, size=self.clients_per_round, replace=False
+        )
+        return sorted(int(index) for index in chosen)
+
+
+class FixedSampler(ClientSampler):
+    """Always return the same subset (deterministic tests / standalone runs)."""
+
+    def __init__(self, clients: Sequence[int]) -> None:
+        if not clients:
+            raise ValueError("FixedSampler needs at least one client")
+        super().__init__(num_clients=max(clients) + 1, sample_fraction=1.0)
+        self._fixed = sorted(int(index) for index in clients)
+
+    @property
+    def clients_per_round(self) -> int:
+        return len(self._fixed)
+
+    def sample(self) -> List[int]:
+        return list(self._fixed)

@@ -1,0 +1,151 @@
+"""Wall-clock modelling of federated rounds on edge hardware.
+
+The paper motivates Sub-FedAvg with edge constraints: uplinks of ~1 MB/s
+(§4.2.2) and compute-limited devices (§3).  This module converts a run
+:class:`~repro.federated.metrics.History` into estimated wall-clock time
+under explicit device profiles, so "rounds to accuracy" becomes the
+deployment-relevant "seconds to accuracy":
+
+* a :class:`DeviceProfile` gives a device's conv throughput and link rates,
+* :class:`WallClockModel` prices one round as the *slowest* sampled client
+  (synchronous FL: the server waits for stragglers) plus server overhead,
+* :func:`time_to_accuracy` walks an accuracy curve and accumulates round
+  times until the target is reached.
+
+The FLOP term uses the paper's conv-only counting convention, scaled by
+the per-round number of local passes (epochs × examples × 3 for the
+forward/backward pair).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .metrics import History, RoundRecord
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Compute and network capabilities of one client device.
+
+    Defaults approximate a mid-range phone with the paper's constrained
+    uplink: 1 GFLOP/s effective conv throughput, 1 MB/s up, 8 MB/s down.
+    """
+
+    name: str = "edge-phone"
+    flops_per_second: float = 1e9
+    upload_bytes_per_second: float = 1e6
+    download_bytes_per_second: float = 8e6
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "flops_per_second",
+            "upload_bytes_per_second",
+            "download_bytes_per_second",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+
+EDGE_PHONE = DeviceProfile()
+RASPBERRY_PI = DeviceProfile(
+    name="raspberry-pi",
+    flops_per_second=3e8,
+    upload_bytes_per_second=2e6,
+    download_bytes_per_second=2e6,
+)
+WORKSTATION = DeviceProfile(
+    name="workstation",
+    flops_per_second=5e10,
+    upload_bytes_per_second=1.25e7,
+    download_bytes_per_second=1.25e7,
+)
+
+
+class WallClockModel:
+    """Prices federated rounds in seconds under per-client device profiles."""
+
+    def __init__(
+        self,
+        profiles: Sequence[DeviceProfile],
+        flops_per_example: float,
+        examples_per_round: float,
+        server_overhead_seconds: float = 0.5,
+    ) -> None:
+        if not profiles:
+            raise ValueError("need at least one device profile")
+        if flops_per_example <= 0 or examples_per_round <= 0:
+            raise ValueError("flops_per_example and examples_per_round must be positive")
+        self.profiles = list(profiles)
+        self.flops_per_example = flops_per_example
+        self.examples_per_round = examples_per_round
+        self.server_overhead_seconds = server_overhead_seconds
+
+    def profile_for(self, client_id: int) -> DeviceProfile:
+        """Deterministic client → device assignment (round-robin)."""
+        return self.profiles[client_id % len(self.profiles)]
+
+    def client_round_seconds(
+        self, client_id: int, upload_bytes: float, download_bytes: float
+    ) -> float:
+        """One client's local time: download, compute, upload (sequential).
+
+        A backward pass costs about twice the forward pass, so each
+        training example is priced at 3× the inference FLOPs.
+        """
+        profile = self.profile_for(client_id)
+        compute = (
+            3.0 * self.flops_per_example * self.examples_per_round
+        ) / profile.flops_per_second
+        up = upload_bytes / profile.upload_bytes_per_second
+        down = download_bytes / profile.download_bytes_per_second
+        return compute + up + down
+
+    def round_seconds(self, record: RoundRecord) -> float:
+        """Synchronous-round time: the slowest sampled client plus overhead.
+
+        Traffic in the record is summed over participants; it is split
+        evenly here, which is exact for the dense baselines and a close
+        approximation for Sub-FedAvg (per-client masks differ slightly).
+        """
+        participants = record.sampled_clients or [0]
+        per_client_up = record.uploaded_bytes / len(participants)
+        per_client_down = record.downloaded_bytes / len(participants)
+        slowest = max(
+            self.client_round_seconds(client_id, per_client_up, per_client_down)
+            for client_id in participants
+        )
+        return slowest + self.server_overhead_seconds
+
+    def total_seconds(self, history: History) -> float:
+        return float(sum(self.round_seconds(record) for record in history.rounds))
+
+
+def time_to_accuracy(
+    history: History, model: WallClockModel, target: float
+) -> Optional[float]:
+    """Seconds of simulated wall-clock until mean accuracy reaches ``target``.
+
+    Requires the run to have been executed with ``eval_every`` so rounds
+    carry accuracy measurements; returns ``None`` if the target is never
+    reached.
+    """
+    elapsed = 0.0
+    for record in history.rounds:
+        elapsed += model.round_seconds(record)
+        if record.mean_accuracy is not None and record.mean_accuracy >= target:
+            return elapsed
+    return None
+
+
+def compare_time_to_accuracy(
+    histories: Dict[str, History], model: WallClockModel, target: float
+) -> Dict[str, Optional[float]]:
+    """Per-algorithm seconds-to-target table (the deployment-relevant Fig 3)."""
+    return {
+        name: time_to_accuracy(history, model, target)
+        for name, history in histories.items()
+    }

@@ -1,0 +1,22 @@
+"""Federated training algorithms."""
+
+from .base import FederatedTrainer
+from .fedavg import FedAvg, FedProx
+from .finetune import FedAvgFinetune
+from .lgfedavg import LGFedAvg
+from .mtl import FedMTL
+from .standalone import Standalone
+from .subfedavg import SubFedAvgHy, SubFedAvgTrainer, SubFedAvgUn
+
+__all__ = [
+    "FederatedTrainer",
+    "FedAvg",
+    "FedProx",
+    "FedAvgFinetune",
+    "LGFedAvg",
+    "FedMTL",
+    "Standalone",
+    "SubFedAvgTrainer",
+    "SubFedAvgUn",
+    "SubFedAvgHy",
+]

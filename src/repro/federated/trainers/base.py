@@ -1,0 +1,86 @@
+"""Round orchestration shared by every federated algorithm."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ...models.base import ConvNet
+from ..client import FederatedClient
+from ..metrics import History, RoundRecord
+from ..sampler import ClientSampler
+
+
+class FederatedTrainer:
+    """Base class: sampling, the round loop, evaluation and bookkeeping.
+
+    Subclasses implement :meth:`_round` (one communication round over the
+    sampled clients, returning a partially filled :class:`RoundRecord`) and
+    may override :meth:`_evaluate_client` to define what a client's
+    *personal* model is under their algorithm.
+    """
+
+    algorithm_name = "base"
+
+    def __init__(
+        self,
+        clients: List[FederatedClient],
+        model_fn: Callable[[], ConvNet],
+        rounds: int,
+        sample_fraction: float = 0.1,
+        seed: int = 0,
+        eval_every: int = 0,
+    ) -> None:
+        if rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {rounds}")
+        if not clients:
+            raise ValueError("need at least one client")
+        self.clients = clients
+        self.model_fn = model_fn
+        self.rounds = rounds
+        self.eval_every = eval_every
+        self.sampler = ClientSampler(len(clients), sample_fraction, seed=seed)
+        self.global_state: Dict[str, np.ndarray] = model_fn().state_dict()
+        self.history = History(algorithm=self.algorithm_name)
+        self.total_params = int(sum(v.size for v in self.global_state.values()))
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> History:
+        """Execute all communication rounds and the final evaluation."""
+        for round_index in range(1, self.rounds + 1):
+            sampled = self.sampler.sample()
+            record = self._round(round_index, sampled)
+            if self.eval_every and round_index % self.eval_every == 0:
+                record.mean_accuracy = self.evaluate_all()
+            self.history.append(record)
+        per_client = {
+            client.client_id: self._evaluate_client(client) for client in self.clients
+        }
+        self.history.final_per_client_accuracy = per_client
+        self.history.final_accuracy = float(np.mean(list(per_client.values())))
+        return self.history
+
+    def _round(self, round_index: int, sampled: List[int]) -> RoundRecord:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def _evaluate_client(self, client: FederatedClient) -> float:
+        """Personalized test accuracy of one client (subclass-specific)."""
+        client.load_global(self.global_state)
+        return client.test_accuracy()
+
+    def evaluate_all(self) -> float:
+        """Paper metric: mean personalized test accuracy over *all* clients."""
+        return float(
+            np.mean([self._evaluate_client(client) for client in self.clients])
+        )
+
+    def evaluate_sampled(self, sampled: List[int]) -> float:
+        return float(
+            np.mean([self.clients[index].test_accuracy() for index in sampled])
+        )

@@ -1,0 +1,82 @@
+"""FedAvg (McMahan et al. 2017) — the traditional-FL benchmark."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..accounting.communication import dense_exchange
+from ..aggregation import fedavg_average
+from ..metrics import RoundRecord
+from .base import FederatedTrainer
+
+
+class FedAvg(FederatedTrainer):
+    """Classic dense averaging weighted by client example counts.
+
+    Personalized evaluation loads the single global model into every
+    client, so under pathological non-IID the reported accuracy exposes
+    FedAvg's collapse (the paper's Remark-2).
+
+    ``stragglers`` optionally installs a
+    :class:`~repro.federated.robust.StragglerModel`: each client then runs
+    its own epoch budget per round instead of the configured count,
+    simulating system heterogeneity (partial local work).
+    """
+
+    algorithm_name = "fedavg"
+
+    def __init__(self, *args, stragglers=None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.stragglers = stragglers
+
+    def _local_epochs(self, client_index: int) -> Optional[int]:
+        if self.stragglers is None:
+            return None  # fall back to the client's configured epochs
+        return self.stragglers.epochs_for(client_index)
+
+    def _round(self, round_index: int, sampled: List[int]) -> RoundRecord:
+        states = []
+        weights = []
+        losses = []
+        for index in sampled:
+            client = self.clients[index]
+            client.load_global(self.global_state)
+            self._before_local(client)
+            result = client.train_local(epochs=self._local_epochs(index))
+            losses.append(result.mean_loss)
+            states.append(client.state_dict())
+            weights.append(result.num_examples)
+
+        self.global_state = fedavg_average(states, weights)
+        traffic = dense_exchange(self.total_params, len(sampled))
+        return RoundRecord(
+            round_index=round_index,
+            sampled_clients=sampled,
+            train_loss=float(np.mean(losses)),
+            uploaded_bytes=traffic.uploaded_bytes,
+            downloaded_bytes=traffic.downloaded_bytes,
+        )
+
+    def _before_local(self, client) -> None:
+        """Hook for subclasses (FedProx installs its proximal anchor here)."""
+
+
+class FedProx(FedAvg):
+    """FedAvg plus a proximal term μ/2·‖w − w_g‖² in the local objective.
+
+    The proximal gradient is added by the client when its
+    ``LocalTrainConfig.prox_mu`` is non-zero; this trainer pins the anchor
+    to the current global weights at the start of each round.
+    """
+
+    algorithm_name = "fedprox"
+
+    def _before_local(self, client) -> None:
+        if client.config.prox_mu <= 0:
+            raise ValueError(
+                "FedProx requires clients configured with prox_mu > 0 "
+                f"(client {client.client_id} has {client.config.prox_mu})"
+            )
+        client.set_anchor(self.global_state)

@@ -1,0 +1,76 @@
+"""LG-FedAvg (Liang et al. 2020): local representations, global head.
+
+Each client keeps its convolutional (representation) layers personal and
+only the classifier layers are averaged on the server — "think locally,
+act globally".  Only the shared layers travel, so the per-round cost is a
+fraction of FedAvg's.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+import numpy as np
+
+from ...models.base import ConvNet
+from ..accounting.communication import partial_exchange
+from ..aggregation import partial_average
+from ..client import FederatedClient
+from ..metrics import RoundRecord
+from .base import FederatedTrainer
+
+
+class LGFedAvg(FederatedTrainer):
+    algorithm_name = "lg-fedavg"
+
+    def __init__(
+        self,
+        clients: List[FederatedClient],
+        model_fn: Callable[[], ConvNet],
+        rounds: int,
+        sample_fraction: float = 0.1,
+        seed: int = 0,
+        eval_every: int = 0,
+    ) -> None:
+        super().__init__(clients, model_fn, rounds, sample_fraction, seed, eval_every)
+        probe = model_fn()
+        shared_layers = probe.classifier_names
+        self.shared_names = [
+            name
+            for name in probe.state_dict()
+            if any(name.startswith(layer + ".") for layer in shared_layers)
+        ]
+        if not self.shared_names:
+            raise ValueError("model exposes no classifier layers for LG-FedAvg to share")
+        self.shared_params = int(
+            sum(self.global_state[name].size for name in self.shared_names)
+        )
+
+    def _round(self, round_index: int, sampled: List[int]) -> RoundRecord:
+        states = []
+        weights = []
+        losses = []
+        for index in sampled:
+            client = self.clients[index]
+            client.load_partial(self.global_state, self.shared_names)
+            result = client.train_local()
+            losses.append(result.mean_loss)
+            states.append(client.state_dict())
+            weights.append(result.num_examples)
+
+        self.global_state = partial_average(
+            states, self.shared_names, self.global_state, weights
+        )
+        traffic = partial_exchange(self.shared_params, len(sampled))
+        return RoundRecord(
+            round_index=round_index,
+            sampled_clients=sampled,
+            train_loss=float(np.mean(losses)),
+            uploaded_bytes=traffic.uploaded_bytes,
+            downloaded_bytes=traffic.downloaded_bytes,
+        )
+
+    def _evaluate_client(self, client: FederatedClient) -> float:
+        """Personal model = personal representation + current global head."""
+        client.load_partial(self.global_state, self.shared_names)
+        return client.test_accuracy()

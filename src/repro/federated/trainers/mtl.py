@@ -1,0 +1,56 @@
+"""Federated multi-task learning baseline (Smith et al. 2017, simplified).
+
+MOCHA's full primal-dual machinery targets convex models; for the deep
+networks of this paper the standard simplification (used by its evaluation
+code and follow-ups) is mean-regularized multi-task learning: every client
+keeps a personal model and its local objective adds λ/2·‖w_k − w̄‖², where
+w̄ is the average of all personal models.  The server's only job is to
+recompute and broadcast w̄ each round — which is why the paper's Table 1
+charges MTL the largest communication bill.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..accounting.communication import dense_exchange
+from ..aggregation import fedavg_average
+from ..client import FederatedClient
+from ..metrics import RoundRecord
+from .base import FederatedTrainer
+
+
+class FedMTL(FederatedTrainer):
+    algorithm_name = "mtl"
+
+    def _round(self, round_index: int, sampled: List[int]) -> RoundRecord:
+        losses = []
+        for index in sampled:
+            client = self.clients[index]
+            if client.config.mtl_lambda <= 0:
+                raise ValueError(
+                    "FedMTL requires clients configured with mtl_lambda > 0 "
+                    f"(client {client.client_id} has {client.config.mtl_lambda})"
+                )
+            client.set_anchor(self.global_state)
+            result = client.train_local()
+            losses.append(result.mean_loss)
+
+        # w̄ over the participants' personal models, broadcast next round.
+        states = [self.clients[index].state_dict() for index in sampled]
+        self.global_state = fedavg_average(states)
+        # Clients exchange their full personal model and receive w̄ back.
+        traffic = dense_exchange(self.total_params, len(sampled))
+        return RoundRecord(
+            round_index=round_index,
+            sampled_clients=sampled,
+            train_loss=float(np.mean(losses)),
+            uploaded_bytes=traffic.uploaded_bytes,
+            downloaded_bytes=traffic.downloaded_bytes,
+        )
+
+    def _evaluate_client(self, client: FederatedClient) -> float:
+        """MTL clients are evaluated on their retained personal model."""
+        return client.test_accuracy()

@@ -1,0 +1,38 @@
+"""Standalone baseline: purely local training, no federation.
+
+Each client trains on its own shard for the configured number of rounds ×
+local epochs.  Zero communication by definition; its accuracy is the bar a
+personalization method must beat for federation to be worth joining (the
+paper's Remark-2).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..client import FederatedClient
+from ..metrics import RoundRecord
+from .base import FederatedTrainer
+
+
+class Standalone(FederatedTrainer):
+    algorithm_name = "standalone"
+
+    def _round(self, round_index: int, sampled: List[int]) -> RoundRecord:
+        losses = []
+        for index in sampled:
+            result = self.clients[index].train_local()
+            losses.append(result.mean_loss)
+        return RoundRecord(
+            round_index=round_index,
+            sampled_clients=sampled,
+            train_loss=float(np.mean(losses)),
+            uploaded_bytes=0.0,
+            downloaded_bytes=0.0,
+        )
+
+    def _evaluate_client(self, client: FederatedClient) -> float:
+        """Standalone clients are evaluated on their own local model."""
+        return client.test_accuracy()

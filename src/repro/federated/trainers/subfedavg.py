@@ -1,0 +1,218 @@
+"""Sub-FedAvg trainers: Algorithm 1 (unstructured) and Algorithm 2 (hybrid).
+
+Per round:
+
+1. the server samples clients; each downloads the global weights and
+   re-applies its committed personal mask (its subnetwork of the global),
+2. each client trains locally; at the end of the first and last epoch it
+   derives candidate masks and, gated by validation accuracy / target rate /
+   mask distance, commits deeper pruning (``ClientUpdate`` in the paper),
+3. the server aggregates with the intersection average (Sub-FedAvg),
+4. traffic is metered as 32-bit floats for kept coordinates plus 1-bit mask
+   entries (§4.2.2's B convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ...models.base import ConvNet
+from ...pruning import (
+    PruningController,
+    StructuredConfig,
+    UnstructuredConfig,
+)
+from ..accounting.communication import sparse_exchange
+from ..aggregation import intersection_average, zero_fill_average
+from ..client import FederatedClient
+from ..metrics import RoundRecord
+from .base import FederatedTrainer
+
+
+@dataclass(frozen=True)
+class TrajectoryPoint:
+    """One client's state right after a local update (Figure 1's raw data)."""
+
+    round_index: int
+    client_id: int
+    sparsity: float
+    channel_sparsity: float
+    test_accuracy: float
+
+
+class SubFedAvgTrainer(FederatedTrainer):
+    """Shared machinery of the Un and Hy variants.
+
+    With ``track_trajectory=True`` every participating client logs a
+    :class:`TrajectoryPoint` after its local update — the (pruning %, test
+    accuracy) trajectory the paper's Figure 1 plots per client.
+    """
+
+    algorithm_name = "sub-fedavg"
+
+    def __init__(
+        self,
+        clients: List[FederatedClient],
+        model_fn: Callable[[], ConvNet],
+        rounds: int,
+        unstructured: Optional[UnstructuredConfig],
+        structured: Optional[StructuredConfig],
+        sample_fraction: float = 0.1,
+        seed: int = 0,
+        eval_every: int = 0,
+        aggregator: str = "intersection",
+        track_trajectory: bool = False,
+    ) -> None:
+        super().__init__(clients, model_fn, rounds, sample_fraction, seed, eval_every)
+        if aggregator not in ("intersection", "zerofill"):
+            raise ValueError(
+                f"aggregator must be 'intersection' or 'zerofill', got {aggregator!r}"
+            )
+        self.unstructured = unstructured
+        self.structured = structured
+        self.aggregator = aggregator
+        self.track_trajectory = track_trajectory
+        self.trajectory: List[TrajectoryPoint] = []
+        for client in clients:
+            controller = PruningController(
+                client.model, unstructured=unstructured, structured=structured
+            )
+            client.attach_controller(controller)
+
+    # ------------------------------------------------------------------
+    def _round(self, round_index: int, sampled: List[int]) -> RoundRecord:
+        states = []
+        masks = []
+        losses = []
+        uploaded = 0.0
+        downloaded = 0.0
+        for index in sampled:
+            client = self.clients[index]
+            mask_before = client.mask
+            kept_down = self._kept_params(mask_before)
+            client.load_global(self.global_state)
+            result = client.train_local()
+            losses.append(result.mean_loss)
+            mask_after = client.mask
+            states.append(client.state_dict())
+            masks.append(mask_after)
+            kept_up = self._kept_params(mask_after)
+            traffic = sparse_exchange(
+                kept_params=kept_up,
+                total_mask_bits=mask_after.total(),
+                num_params_down=kept_down,
+            )
+            uploaded += traffic.uploaded_bytes
+            downloaded += traffic.downloaded_bytes
+            if self.track_trajectory:
+                self.trajectory.append(
+                    TrajectoryPoint(
+                        round_index=round_index,
+                        client_id=client.client_id,
+                        sparsity=client.controller.unstructured_sparsity(),
+                        channel_sparsity=client.controller.channel_sparsity(),
+                        test_accuracy=client.test_accuracy(),
+                    )
+                )
+
+        if self.aggregator == "intersection":
+            self.global_state = intersection_average(states, masks, self.global_state)
+        else:
+            self.global_state = zero_fill_average(states, masks, self.global_state)
+
+        sparsities = [c.controller.unstructured_sparsity() for c in self.clients]
+        channel_sparsities = [c.controller.channel_sparsity() for c in self.clients]
+        return RoundRecord(
+            round_index=round_index,
+            sampled_clients=sampled,
+            train_loss=float(np.mean(losses)),
+            sampled_accuracy=self.evaluate_sampled(sampled),
+            mean_sparsity=float(np.mean(sparsities)),
+            mean_channel_sparsity=float(np.mean(channel_sparsities)),
+            uploaded_bytes=uploaded,
+            downloaded_bytes=downloaded,
+        )
+
+    def _kept_params(self, mask) -> int:
+        """Parameters a client exchanges: kept masked coords + uncovered tensors."""
+        if mask is None or len(mask) == 0:
+            return self.total_params
+        covered = mask.total()
+        return self.total_params - covered + mask.kept()
+
+    # ------------------------------------------------------------------
+    def mean_unstructured_sparsity(self) -> float:
+        return float(
+            np.mean([c.controller.unstructured_sparsity() for c in self.clients])
+        )
+
+    def mean_channel_sparsity(self) -> float:
+        return float(
+            np.mean([c.controller.channel_sparsity() for c in self.clients])
+        )
+
+
+class SubFedAvgUn(SubFedAvgTrainer):
+    """Algorithm 1: Sub-FedAvg with unstructured pruning only."""
+
+    algorithm_name = "sub-fedavg-un"
+
+    def __init__(
+        self,
+        clients: List[FederatedClient],
+        model_fn: Callable[[], ConvNet],
+        rounds: int,
+        unstructured: Optional[UnstructuredConfig] = None,
+        sample_fraction: float = 0.1,
+        seed: int = 0,
+        eval_every: int = 0,
+        aggregator: str = "intersection",
+        track_trajectory: bool = False,
+    ) -> None:
+        super().__init__(
+            clients,
+            model_fn,
+            rounds,
+            unstructured=unstructured or UnstructuredConfig(),
+            structured=None,
+            sample_fraction=sample_fraction,
+            seed=seed,
+            eval_every=eval_every,
+            aggregator=aggregator,
+            track_trajectory=track_trajectory,
+        )
+
+
+class SubFedAvgHy(SubFedAvgTrainer):
+    """Algorithm 2: hybrid — structured on convs, unstructured on FC layers."""
+
+    algorithm_name = "sub-fedavg-hy"
+
+    def __init__(
+        self,
+        clients: List[FederatedClient],
+        model_fn: Callable[[], ConvNet],
+        rounds: int,
+        unstructured: Optional[UnstructuredConfig] = None,
+        structured: Optional[StructuredConfig] = None,
+        sample_fraction: float = 0.1,
+        seed: int = 0,
+        eval_every: int = 0,
+        aggregator: str = "intersection",
+        track_trajectory: bool = False,
+    ) -> None:
+        super().__init__(
+            clients,
+            model_fn,
+            rounds,
+            unstructured=unstructured or UnstructuredConfig(),
+            structured=structured or StructuredConfig(),
+            sample_fraction=sample_fraction,
+            seed=seed,
+            eval_every=eval_every,
+            aggregator=aggregator,
+            track_trajectory=track_trajectory,
+        )

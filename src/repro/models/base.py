@@ -1,0 +1,73 @@
+"""Model base class carrying the structural metadata pruning needs.
+
+Structured pruning must know which batch-norm scale vector gates which
+convolution, what the next layer consuming those channels is, and how conv
+channels map onto flattened fully-connected inputs.  :class:`ConvNet`
+captures that wiring explicitly so the pruning subsystem works for any
+architecture registered here without hard-coding layer names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..nn import Module
+
+
+@dataclass(frozen=True)
+class ConvUnit:
+    """One prunable conv stage: a conv layer and the BN that gates it.
+
+    ``next_conv`` is the name of the following conv layer whose input
+    channels correspond to this unit's output channels, or ``None`` when the
+    unit feeds the flattened classifier instead.  ``spatial`` is the spatial
+    size (H = W) of this unit's output *at the point where it is flattened*,
+    used to map pruned channels onto classifier input columns.
+    """
+
+    conv: str
+    bn: str
+    next_conv: Optional[str] = None
+    spatial: Optional[int] = None
+
+
+class ConvNet(Module):
+    """Base class for the paper's CNNs.
+
+    Subclasses populate:
+
+    * ``conv_units`` — ordered :class:`ConvUnit` wiring metadata,
+    * ``classifier_names`` — ordered names of fully connected layers,
+    * ``first_fc`` — name of the FC layer consuming the flattened conv map.
+    """
+
+    conv_units: List[ConvUnit] = []
+    classifier_names: List[str] = []
+    first_fc: Optional[str] = None
+
+    def channel_census(self) -> List[Tuple[str, int]]:
+        """(bn name, channel count) for every prunable conv stage."""
+        census = []
+        for unit in self.conv_units:
+            bn = dict(self.named_modules())[unit.bn]
+            census.append((unit.bn, bn.num_features))
+        return census
+
+    def total_channels(self) -> int:
+        return sum(count for _, count in self.channel_census())
+
+    def fc_weight_names(self) -> List[str]:
+        """Parameter names of classifier weights (unstructured targets in Hy)."""
+        return [f"{name}.weight" for name in self.classifier_names]
+
+    def conv_weight_names(self) -> List[str]:
+        return [f"{unit.conv}.weight" for unit in self.conv_units]
+
+    def prunable_weight_names(self) -> List[str]:
+        """All weight matrices subject to unstructured pruning (Un variant).
+
+        Biases and batch-norm parameters are exempt, following standard
+        magnitude-pruning practice (Han et al. 2015) and the reference code.
+        """
+        return self.conv_weight_names() + self.fc_weight_names()

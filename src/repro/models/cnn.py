@@ -1,0 +1,50 @@
+"""The paper's 5-layer CNN for MNIST and EMNIST.
+
+§4.1: two 5×5 convolutions with 10 and 20 channels, each followed by
+batch-norm and 2×2 max pooling, then a 50-unit fully connected layer and a
+final classifier layer ("30 channels" = 10 + 20 prunable conv channels).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import BatchNorm2d, Conv2d, Linear
+from ..tensor import Tensor, max_pool2d
+from .base import ConvNet, ConvUnit
+
+
+class CNN5(ConvNet):
+    """5-layer CNN for 1×28×28 inputs (MNIST / EMNIST)."""
+
+    conv_units = [
+        ConvUnit(conv="conv1", bn="bn1", next_conv="conv2"),
+        ConvUnit(conv="conv2", bn="bn2", next_conv=None, spatial=4),
+    ]
+    classifier_names = ["fc1", "fc2"]
+    first_fc = "fc1"
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.num_classes = num_classes
+        self.conv1 = Conv2d(in_channels, 10, kernel_size=5, rng=rng)
+        self.bn1 = BatchNorm2d(10)
+        self.conv2 = Conv2d(10, 20, kernel_size=5, rng=rng)
+        self.bn2 = BatchNorm2d(20)
+        self.fc1 = Linear(20 * 4 * 4, 50, rng=rng)
+        self.fc2 = Linear(50, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = max_pool2d(self.bn1(self.conv1(x)).relu(), 2)
+        x = max_pool2d(self.bn2(self.conv2(x)).relu(), 2)
+        x = x.flatten_batch()
+        x = self.fc1(x).relu()
+        return self.fc2(x)

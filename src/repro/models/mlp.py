@@ -1,0 +1,50 @@
+"""A small multilayer perceptron.
+
+Not used by the paper's main tables; serves the fast unit/property tests and
+the unstructured-pruning ablations (an all-FC network exercises the pure
+parameter-level pruning path without conv wiring).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..nn import Linear
+from ..tensor import Tensor
+from .base import ConvNet
+
+
+class MLP(ConvNet):
+    """Fully connected ReLU network over flattened inputs."""
+
+    conv_units: list = []
+    first_fc = None
+
+    def __init__(
+        self,
+        in_features: int,
+        num_classes: int,
+        hidden: Sequence[int] = (64,),
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.num_classes = num_classes
+        sizes = [in_features, *hidden, num_classes]
+        names = []
+        for index, (n_in, n_out) in enumerate(zip(sizes[:-1], sizes[1:]), start=1):
+            layer = Linear(n_in, n_out, rng=rng)
+            setattr(self, f"fc{index}", layer)
+            names.append(f"fc{index}")
+        # classifier_names is a class attribute on ConvNet; override per-instance.
+        object.__setattr__(self, "classifier_names", names)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim > 2:
+            x = x.flatten_batch()
+        layers = [getattr(self, name) for name in self.classifier_names]
+        for layer in layers[:-1]:
+            x = layer(x).relu()
+        return layers[-1](x)

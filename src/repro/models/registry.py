@@ -1,0 +1,50 @@
+"""Model factory keyed by dataset family, matching the paper's pairing.
+
+§4.1 pairs architectures with datasets: the 5-layer CNN for MNIST/EMNIST and
+LeNet-5 for CIFAR-10/100.  ``create_model`` reproduces that pairing and
+seeds initialization so that all clients and the server can be constructed
+from the identical ``theta_0`` the algorithms require.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..data.synthetic import SPECS
+from .base import ConvNet
+from .cnn import CNN5
+from .lenet import LeNet5
+from .mlp import MLP
+
+_BUILDERS: Dict[str, Callable[..., ConvNet]] = {
+    "mnist": lambda num_classes, in_channels, rng: CNN5(num_classes, in_channels, rng),
+    "emnist": lambda num_classes, in_channels, rng: CNN5(num_classes, in_channels, rng),
+    "cifar10": lambda num_classes, in_channels, rng: LeNet5(num_classes, in_channels, rng),
+    "cifar100": lambda num_classes, in_channels, rng: LeNet5(num_classes, in_channels, rng),
+}
+
+
+def create_model(dataset: str, seed: int = 0, num_classes: Optional[int] = None) -> ConvNet:
+    """Build the paper's architecture for ``dataset`` with seeded init."""
+    if dataset not in _BUILDERS:
+        raise KeyError(f"no model registered for dataset {dataset!r}")
+    spec = SPECS[dataset]
+    classes = num_classes if num_classes is not None else spec.num_classes
+    rng = np.random.default_rng(seed)
+    return _BUILDERS[dataset](classes, spec.shape[0], rng)
+
+
+def input_spatial_size(dataset: str) -> int:
+    """Side length of the dataset's square images."""
+    return SPECS[dataset].shape[1]
+
+
+def parameter_census(model: ConvNet) -> Dict[str, int]:
+    """Per-parameter element counts plus a ``total`` entry."""
+    census = {name: param.size for name, param in model.named_parameters()}
+    census["total"] = sum(
+        count for name, count in census.items() if name != "total"
+    )
+    return census

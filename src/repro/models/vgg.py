@@ -1,0 +1,75 @@
+"""VGGLite: a deeper CNN for the structured-pruning depth ablation.
+
+The paper motivates hybrid pruning by noting that "structured pruning is
+more effective when the depth of the neural network of clients are
+sufficiently large" (§3.5, citing Huang et al. 2016).  The two paper
+architectures have only two conv stages; VGGLite provides a deeper,
+VGG-style stack (three 3×3 conv/BN/pool blocks) so that claim can be
+tested: at equal channel sparsity, FLOP reduction compounds across the
+extra stages.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..nn import BatchNorm2d, Conv2d, Linear
+from ..tensor import Tensor, max_pool2d
+from .base import ConvNet, ConvUnit
+
+
+class VGGLite(ConvNet):
+    """Three conv/BN/pool blocks + a two-layer classifier.
+
+    ``widths`` sets the three stage widths; ``input_size`` is the square
+    input side (32 for the CIFAR families, 28 for MNIST/EMNIST).  The
+    spatial size after each 3×3 same-padding conv + 2×2 pool halves
+    (floor), so the flattened width adapts to the input size.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        input_size: int = 32,
+        widths: Sequence[int] = (16, 32, 32),
+        hidden: int = 64,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if len(widths) != 3:
+            raise ValueError(f"VGGLite expects exactly 3 stage widths, got {widths}")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.num_classes = num_classes
+        self.input_size = input_size
+
+        size = input_size
+        previous = in_channels
+        for stage, width in enumerate(widths, start=1):
+            setattr(self, f"conv{stage}", Conv2d(previous, width, 3, padding=1, rng=rng))
+            setattr(self, f"bn{stage}", BatchNorm2d(width))
+            previous = width
+            size //= 2  # the 2x2 pool after each block
+        self._final_spatial = size
+
+        self.fc1 = Linear(widths[-1] * size * size, hidden, rng=rng)
+        self.fc2 = Linear(hidden, num_classes, rng=rng)
+
+        # Pruning wiring: three chained units, the last feeding fc1.
+        self.conv_units = [
+            ConvUnit(conv="conv1", bn="bn1", next_conv="conv2"),
+            ConvUnit(conv="conv2", bn="bn2", next_conv="conv3"),
+            ConvUnit(conv="conv3", bn="bn3", next_conv=None, spatial=size),
+        ]
+        self.classifier_names = ["fc1", "fc2"]
+        self.first_fc = "fc1"
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = max_pool2d(self.bn1(self.conv1(x)).relu(), 2)
+        x = max_pool2d(self.bn2(self.conv2(x)).relu(), 2)
+        x = max_pool2d(self.bn3(self.conv3(x)).relu(), 2)
+        x = x.flatten_batch()
+        x = self.fc1(x).relu()
+        return self.fc2(x)

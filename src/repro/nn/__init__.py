@@ -1,0 +1,34 @@
+"""Neural-network layers and containers (PyTorch-style, numpy-backed)."""
+
+from .module import Module, Parameter
+from .layers import (
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    Tanh,
+)
+from .loss import CrossEntropyLoss, L1Loss, MSELoss
+from . import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Conv2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "MaxPool2d",
+    "ReLU",
+    "Tanh",
+    "Flatten",
+    "Sequential",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "L1Loss",
+    "init",
+]

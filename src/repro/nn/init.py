@@ -1,0 +1,50 @@
+"""Weight initialization schemes.
+
+Defaults mirror PyTorch: Kaiming-uniform fan-in initialization for conv and
+linear weights, uniform bias initialization scaled by fan-in.  Initializers
+take an explicit ``numpy.random.Generator`` so model creation is fully
+deterministic given a seed — a requirement for the paper's protocol, where
+every client and the server start from the same ``theta_0``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 2:  # linear: (out, in)
+        fan_out, fan_in = shape
+    elif len(shape) == 4:  # conv: (out, in, kh, kw)
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        raise ValueError(f"cannot infer fan for shape {shape}")
+    return fan_in, fan_out
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: np.random.Generator, a: float = math.sqrt(5)) -> np.ndarray:
+    """He-uniform init as used by PyTorch's default layer reset."""
+    fan_in, _ = _fan_in_out(shape)
+    gain = math.sqrt(2.0 / (1.0 + a * a))
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot-uniform initialization."""
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def bias_uniform(weight_shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """PyTorch-style bias init: uniform in ±1/sqrt(fan_in)."""
+    fan_in, _ = _fan_in_out(weight_shape)
+    bound = 1.0 / math.sqrt(fan_in) if fan_in > 0 else 0.0
+    out_features = weight_shape[0]
+    return rng.uniform(-bound, bound, size=(out_features,))

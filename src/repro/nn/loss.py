@@ -1,0 +1,41 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, cross_entropy
+from .module import Module
+
+
+class CrossEntropyLoss(Module):
+    """Softmax cross-entropy over integer class targets (mean reduction)."""
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return cross_entropy(logits, targets)
+
+    def __repr__(self) -> str:
+        return "CrossEntropyLoss()"
+
+
+class MSELoss(Module):
+    """Mean squared error between prediction and target tensors/arrays."""
+
+    def forward(self, prediction: Tensor, target) -> Tensor:
+        target = target if isinstance(target, Tensor) else Tensor(target)
+        diff = prediction - target
+        return (diff * diff).mean()
+
+    def __repr__(self) -> str:
+        return "MSELoss()"
+
+
+class L1Loss(Module):
+    """Mean absolute error."""
+
+    def forward(self, prediction: Tensor, target) -> Tensor:
+        target = target if isinstance(target, Tensor) else Tensor(target)
+        return (prediction - target).abs().mean()
+
+    def __repr__(self) -> str:
+        return "L1Loss()"

@@ -1,0 +1,16 @@
+"""Optimizers, learning-rate schedules and gradient clipping."""
+
+from .sgd import SGD
+from .adam import Adam
+from .clip import clip_grad_norm, clip_grad_value, grad_norm
+from .lr_scheduler import CosineAnnealingLR, StepLR
+
+__all__ = [
+    "SGD",
+    "Adam",
+    "StepLR",
+    "CosineAnnealingLR",
+    "clip_grad_norm",
+    "clip_grad_value",
+    "grad_norm",
+]

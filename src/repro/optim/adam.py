@@ -1,0 +1,53 @@
+"""Adam optimizer (used by ablation experiments; the paper's runs use SGD)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from .sgd import SGD
+
+
+class Adam(SGD):
+    """Adam with bias correction; inherits mask handling from :class:`SGD`."""
+
+    def __init__(
+        self,
+        named_params: Iterable,
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(named_params, lr=lr, momentum=0.0, weight_decay=weight_decay)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._step_count = 0
+        self._exp_avg: Dict[str, np.ndarray] = {}
+        self._exp_avg_sq: Dict[str, np.ndarray] = {}
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        for name, param in self._named:
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            mask = self._masks.get(name)
+            if mask is not None:
+                grad = grad * mask
+            avg = self._exp_avg.setdefault(name, np.zeros_like(param.data))
+            avg_sq = self._exp_avg_sq.setdefault(name, np.zeros_like(param.data))
+            avg *= self.beta1
+            avg += (1.0 - self.beta1) * grad
+            avg_sq *= self.beta2
+            avg_sq += (1.0 - self.beta2) * grad * grad
+            step_size = self.lr / bias1
+            denom = np.sqrt(avg_sq / bias2) + self.eps
+            param.data -= step_size * avg / denom
+            if mask is not None:
+                param.data *= mask

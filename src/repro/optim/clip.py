@@ -1,0 +1,55 @@
+"""Gradient clipping utilities.
+
+Corrupted or heterogeneous clients can produce exploding local gradients
+(the robustness tests inject exactly that); global-norm clipping is the
+standard guard.  Matches PyTorch semantics: gradients are scaled in place
+so their joint L2 norm is at most ``max_norm``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+import numpy as np
+
+from ..nn.module import Parameter
+
+
+def grad_norm(parameters: Iterable) -> float:
+    """Joint L2 norm of all existing gradients."""
+    total = 0.0
+    for entry in parameters:
+        param = entry[1] if isinstance(entry, tuple) else entry
+        if param.grad is not None:
+            total += float((param.grad ** 2).sum())
+    return float(np.sqrt(total))
+
+
+def clip_grad_norm(parameters: Iterable, max_norm: float) -> float:
+    """Scale gradients in place so their joint norm is <= ``max_norm``.
+
+    Returns the pre-clipping norm (PyTorch convention).  Accepts the same
+    ``(name, Parameter)`` tuples or bare parameters the optimizers take.
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    params = [
+        (entry[1] if isinstance(entry, tuple) else entry) for entry in parameters
+    ]
+    norm = grad_norm(params)
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for param in params:
+            if param.grad is not None:
+                param.grad = param.grad * scale
+    return norm
+
+
+def clip_grad_value(parameters: Iterable, max_value: float) -> None:
+    """Clamp every gradient coordinate into ``[-max_value, max_value]``."""
+    if max_value <= 0:
+        raise ValueError(f"max_value must be positive, got {max_value}")
+    for entry in parameters:
+        param = entry[1] if isinstance(entry, tuple) else entry
+        if param.grad is not None:
+            np.clip(param.grad, -max_value, max_value, out=param.grad)

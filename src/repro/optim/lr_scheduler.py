@@ -1,0 +1,45 @@
+"""Learning-rate schedules for the local optimizers."""
+
+from __future__ import annotations
+
+import math
+
+from .sgd import SGD
+
+
+class StepLR:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, optimizer: SGD, step_size: int, gamma: float = 0.1) -> None:
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self.base_lr = optimizer.lr
+        self.last_epoch = 0
+
+    def step(self) -> None:
+        self.last_epoch += 1
+        decays = self.last_epoch // self.step_size
+        self.optimizer.lr = self.base_lr * (self.gamma ** decays)
+
+
+class CosineAnnealingLR:
+    """Cosine decay from the base LR to ``eta_min`` over ``t_max`` steps."""
+
+    def __init__(self, optimizer: SGD, t_max: int, eta_min: float = 0.0) -> None:
+        if t_max <= 0:
+            raise ValueError("t_max must be positive")
+        self.optimizer = optimizer
+        self.t_max = t_max
+        self.eta_min = eta_min
+        self.base_lr = optimizer.lr
+        self.last_epoch = 0
+
+    def step(self) -> None:
+        self.last_epoch += 1
+        progress = min(self.last_epoch, self.t_max) / self.t_max
+        self.optimizer.lr = self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (
+            1.0 + math.cos(math.pi * progress)
+        )

@@ -1,0 +1,246 @@
+"""Client-side pruning state machine (the ClientUpdate gates of Algs. 1-2).
+
+Each client owns one :class:`PruningController`.  During a communication
+round the client:
+
+1. snapshots candidate masks at the end of its *first* local epoch,
+2. snapshots candidate masks at the end of its *last* local epoch,
+3. calls :meth:`PruningController.update` with its validation accuracy.
+
+``update`` implements the paper's gating exactly: a candidate mask is
+committed only when validation accuracy is at least ``acc_threshold``, the
+target rate has not been reached, and the (normalized Hamming) distance
+between the first- and last-epoch masks is at least ``epsilon``.  In the
+hybrid algorithm the structured and unstructured branches gate
+independently (Algorithm 2's "when one does satisfy the constraints it
+applies the mask regardless of ... the other one").
+
+Every committed mask escalates the branch's current rate by its per-round
+step, capped at the target — the paper's "iteratively pruning by 5%-10% per
+iteration" schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..models.base import ConvNet
+from .mask import MaskSet, hamming_distance
+from .structured import ChannelMask, bn_scale_channel_mask, expand_channel_mask
+from .unstructured import magnitude_mask
+
+
+@dataclass(frozen=True)
+class UnstructuredConfig:
+    """Knobs of the unstructured branch (Algorithm 1 and the Hy fc-branch)."""
+
+    target_rate: float = 0.5  # p_us: final fraction of covered weights pruned
+    step: float = 0.1  # r_us: extra fraction pruned per committed round
+    epsilon: float = 1e-4  # mask-distance gate (paper: 1e-4)
+    acc_threshold: float = 0.5  # Acc_th on local validation accuracy
+    scope: str = "global"
+    rewind: bool = False  # lottery-ticket mode: reset kept weights to theta_0
+    # on every commit (Frankle & Carbin 2018, the paper's f(x; m ⊙ θ_0))
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.target_rate < 1.0:
+            raise ValueError(f"target_rate must be in [0, 1), got {self.target_rate}")
+        if self.step <= 0:
+            raise ValueError(f"step must be positive, got {self.step}")
+
+
+@dataclass(frozen=True)
+class StructuredConfig:
+    """Knobs of the structured branch (Algorithm 2)."""
+
+    target_rate: float = 0.5  # p_s: final fraction of channels pruned
+    step: float = 0.1  # r_s
+    epsilon: float = 0.05  # paper: 0.05 for the hybrid algorithm
+    acc_threshold: float = 0.5
+    min_channels: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.target_rate < 1.0:
+            raise ValueError(f"target_rate must be in [0, 1), got {self.target_rate}")
+        if self.step <= 0:
+            raise ValueError(f"step must be positive, got {self.step}")
+
+
+@dataclass
+class PruneDecision:
+    """What :meth:`PruningController.update` did this round."""
+
+    unstructured_applied: bool = False
+    structured_applied: bool = False
+    unstructured_distance: float = 0.0
+    structured_distance: float = 0.0
+    unstructured_rate: float = 0.0
+    structured_rate: float = 0.0
+
+
+@dataclass
+class MaskSnapshot:
+    """Candidate masks captured at one epoch boundary."""
+
+    unstructured: Optional[MaskSet] = None
+    structured: Optional[ChannelMask] = None
+
+
+class PruningController:
+    """Tracks committed masks and applies the paper's pruning gates."""
+
+    def __init__(
+        self,
+        model: ConvNet,
+        unstructured: Optional[UnstructuredConfig] = None,
+        structured: Optional[StructuredConfig] = None,
+    ) -> None:
+        if unstructured is None and structured is None:
+            raise ValueError("enable at least one of unstructured/structured pruning")
+        self.model = model
+        self.un_cfg = unstructured
+        self.st_cfg = structured
+
+        if unstructured is not None:
+            # Algorithm 1 covers every weight matrix; Algorithm 2 restricts
+            # the unstructured branch to the fully connected layers.
+            if structured is None:
+                self.un_names: List[str] = model.prunable_weight_names()
+            else:
+                self.un_names = model.fc_weight_names()
+            self.un_mask: MaskSet = MaskSet.for_model(model, self.un_names)
+        else:
+            self.un_names = []
+            self.un_mask = MaskSet()
+        self.un_rate = 0.0
+
+        if structured is not None:
+            self.ch_mask: ChannelMask = ChannelMask.dense_for(model)
+        else:
+            self.ch_mask = ChannelMask()
+        self.st_rate = 0.0
+
+        # Snapshot theta_0 for lottery-ticket rewinding; taken lazily only
+        # when the mode is enabled to avoid doubling memory otherwise.
+        if unstructured is not None and unstructured.rewind:
+            self._init_state = {
+                name: param.data.copy()
+                for name, param in model.named_parameters()
+                if name in self.un_names
+            }
+        else:
+            self._init_state = None
+
+        self.history: List[PruneDecision] = []
+
+    # ------------------------------------------------------------------
+    # Candidate derivation
+    # ------------------------------------------------------------------
+    def _next_un_rate(self) -> float:
+        return min(self.un_rate + self.un_cfg.step, self.un_cfg.target_rate)
+
+    def _next_st_rate(self) -> float:
+        return min(self.st_rate + self.st_cfg.step, self.st_cfg.target_rate)
+
+    def snapshot(self) -> MaskSnapshot:
+        """Derive candidate masks from the model's current weights.
+
+        Call at the end of the first and of the last local epoch (the
+        algorithms' ``m^{j,fe}`` and ``m^{j,le}``).
+        """
+        snap = MaskSnapshot()
+        if self.un_cfg is not None:
+            # Rank magnitudes of the *masked* weights: already-pruned
+            # coordinates are zero and therefore always rank lowest, so the
+            # candidate pruned set grows exactly to the candidate rate and
+            # never overshoots the target.
+            state = {
+                name: param.data * self.un_mask[name]
+                if name in self.un_mask
+                else param.data
+                for name, param in self.model.named_parameters()
+            }
+            snap.unstructured = magnitude_mask(
+                state,
+                self.un_names,
+                self._next_un_rate(),
+                scope=self.un_cfg.scope,
+                previous=self.un_mask,
+            )
+        if self.st_cfg is not None:
+            snap.structured = bn_scale_channel_mask(
+                self.model,
+                self._next_st_rate(),
+                previous=self.ch_mask,
+                min_channels=self.st_cfg.min_channels,
+            )
+        return snap
+
+    # ------------------------------------------------------------------
+    # Gating
+    # ------------------------------------------------------------------
+    def update(
+        self, val_accuracy: float, first: MaskSnapshot, last: MaskSnapshot
+    ) -> PruneDecision:
+        """Apply the paper's gates and commit the last-epoch masks if passed."""
+        decision = PruneDecision(
+            unstructured_rate=self.un_rate, structured_rate=self.st_rate
+        )
+
+        if self.un_cfg is not None and first.unstructured is not None:
+            distance = hamming_distance(first.unstructured, last.unstructured)
+            decision.unstructured_distance = distance
+            target_open = self.un_rate < self.un_cfg.target_rate
+            if (
+                val_accuracy >= self.un_cfg.acc_threshold
+                and target_open
+                and distance >= self.un_cfg.epsilon
+            ):
+                self.un_mask = last.unstructured
+                self.un_rate = self._next_un_rate()
+                decision.unstructured_applied = True
+                decision.unstructured_rate = self.un_rate
+                if self._init_state is not None:
+                    self._rewind_to_init()
+
+        if self.st_cfg is not None and first.structured is not None:
+            distance = first.structured.distance(last.structured)
+            decision.structured_distance = distance
+            target_open = self.st_rate < self.st_cfg.target_rate
+            if (
+                val_accuracy >= self.st_cfg.acc_threshold
+                and target_open
+                and distance >= self.st_cfg.epsilon
+            ):
+                self.ch_mask = last.structured
+                self.st_rate = self._next_st_rate()
+                decision.structured_applied = True
+                decision.structured_rate = self.st_rate
+
+        self.history.append(decision)
+        return decision
+
+    def _rewind_to_init(self) -> None:
+        """Reset the covered tensors to ``theta_0 ⊙ mask`` (lottery ticket)."""
+        params = dict(self.model.named_parameters())
+        for name, init_value in self._init_state.items():
+            params[name].data[...] = init_value * self.un_mask[name]
+
+    # ------------------------------------------------------------------
+    # Combined mask view
+    # ------------------------------------------------------------------
+    def combined_mask(self) -> MaskSet:
+        """Parameter-level keep-mask from both committed branches."""
+        mask = self.un_mask.copy()
+        if self.st_cfg is not None:
+            mask = mask.intersect(expand_channel_mask(self.model, self.ch_mask))
+        return mask
+
+    def unstructured_sparsity(self) -> float:
+        """Fraction pruned among the unstructured branch's covered weights."""
+        return self.un_mask.sparsity() if len(self.un_mask) else 0.0
+
+    def channel_sparsity(self) -> float:
+        """Fraction of channels pruned by the structured branch."""
+        return self.ch_mask.sparsity() if self.st_cfg is not None else 0.0

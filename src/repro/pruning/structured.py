@@ -1,0 +1,309 @@
+"""Structured (channel-level) pruning via batch-norm scaling factors.
+
+Follows the network-slimming recipe the paper adopts (Liu et al. 2017,
+§3.5 "Structured Pruning"): the absolute value of each BN scale γ indicates
+its channel's importance, and the pruning threshold is a percentile over
+*all* scaling factors in the network.  A pruned channel removes:
+
+* the producing convolution's filter (weight row + bias entry),
+* the BN scale/shift for that channel,
+* the consuming convolution's corresponding input slice — or, when the
+  channel feeds the flattened classifier, the corresponding input columns
+  of the first fully connected layer.
+
+Masks keep tensors dense (pruned coordinates are zeros); FLOP and parameter
+reductions are computed analytically from the channel census, which is how
+the paper reports Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping, Optional
+
+import numpy as np
+
+from ..models.base import ConvNet
+from .mask import MaskSet
+
+
+class ChannelMask:
+    """Per-BN-layer boolean keep vectors (True = channel kept)."""
+
+    def __init__(self, masks: Optional[Mapping[str, np.ndarray]] = None) -> None:
+        self._masks: Dict[str, np.ndarray] = {}
+        if masks:
+            for name, mask in masks.items():
+                self[name] = mask
+
+    def __setitem__(self, bn_name: str, mask: np.ndarray) -> None:
+        self._masks[bn_name] = np.asarray(mask, dtype=bool)
+
+    def __getitem__(self, bn_name: str) -> np.ndarray:
+        return self._masks[bn_name]
+
+    def __contains__(self, bn_name: str) -> bool:
+        return bn_name in self._masks
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._masks)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ChannelMask):
+            return NotImplemented
+        if set(self._masks) != set(other._masks):
+            return False
+        return all(np.array_equal(self._masks[k], other._masks[k]) for k in self._masks)
+
+    def items(self):
+        return self._masks.items()
+
+    def copy(self) -> "ChannelMask":
+        return ChannelMask({name: mask.copy() for name, mask in self._masks.items()})
+
+    def kept_channels(self) -> int:
+        return int(sum(mask.sum() for mask in self._masks.values()))
+
+    def total_channels(self) -> int:
+        return int(sum(mask.size for mask in self._masks.values()))
+
+    def sparsity(self) -> float:
+        total = self.total_channels()
+        if total == 0:
+            return 0.0
+        return 1.0 - self.kept_channels() / total
+
+    def intersect(self, other: "ChannelMask") -> "ChannelMask":
+        result = ChannelMask()
+        for name in set(self._masks) | set(other._masks):
+            a = self._masks.get(name)
+            b = other._masks.get(name)
+            if a is None or b is None:
+                result[name] = (a if a is not None else b).copy()
+            else:
+                result[name] = a & b
+        return result
+
+    def distance(self, other: "ChannelMask") -> float:
+        """Normalized Hamming distance over all channels (the paper's Δs)."""
+        names = set(self._masks) | set(other._masks)
+        if not names:
+            return 0.0
+        differing = 0
+        total = 0
+        for name in names:
+            a = self._masks.get(name)
+            b = other._masks.get(name)
+            if a is None:
+                a = np.ones_like(b)
+            if b is None:
+                b = np.ones_like(a)
+            differing += int((a != b).sum())
+            total += a.size
+        return differing / total
+
+    @classmethod
+    def dense_for(cls, model: ConvNet) -> "ChannelMask":
+        masks = {}
+        for bn_name, count in model.channel_census():
+            masks[bn_name] = np.ones(count, dtype=bool)
+        return cls(masks)
+
+
+def bn_scale_channel_mask(
+    model: ConvNet,
+    rate: float,
+    previous: Optional[ChannelMask] = None,
+    min_channels: int = 1,
+) -> ChannelMask:
+    """Derive a channel keep-mask pruning the lowest-|γ| ``rate`` fraction.
+
+    The threshold is a single percentile across every BN scale in the model
+    (the paper: "the pruning threshold is determined by a percentile among
+    all scaling factors").  ``min_channels`` channels are always retained in
+    each layer so the network never disconnects — when thresholding would
+    remove a whole layer, its largest-|γ| channels are resurrected.
+    """
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"channel pruning rate must be in [0, 1), got {rate}")
+    modules = dict(model.named_modules())
+    gammas = {}
+    for unit in model.conv_units:
+        gammas[unit.bn] = np.abs(modules[unit.bn].weight.data)
+
+    all_values = np.concatenate([values.ravel() for values in gammas.values()])
+    k = int(np.floor(rate * all_values.size))
+    if k <= 0:
+        threshold = -np.inf
+    elif k >= all_values.size:
+        threshold = float(all_values.max())
+    else:
+        threshold = float(np.partition(all_values, k - 1)[k - 1])
+
+    result = ChannelMask()
+    for bn_name, values in gammas.items():
+        keep = values > threshold
+        if previous is not None and bn_name in previous:
+            keep = keep & previous[bn_name]
+        if keep.sum() < min_channels:
+            # Resurrect the strongest channels to keep the layer alive.
+            order = np.argsort(values)[::-1]
+            keep = np.zeros_like(keep)
+            keep[order[:min_channels]] = True
+            if previous is not None and bn_name in previous:
+                # Respect monotonicity against the committed mask if possible.
+                allowed = previous[bn_name]
+                if allowed.sum() >= min_channels:
+                    candidates = order[allowed[order]]
+                    keep = np.zeros_like(keep)
+                    keep[candidates[:min_channels]] = True
+        result[bn_name] = keep
+    return result
+
+
+def expand_channel_mask(model: ConvNet, channels: ChannelMask) -> MaskSet:
+    """Expand per-channel keeps into parameter-level masks.
+
+    Covers, for each conv unit: the conv weight/bias rows, the BN γ/β, the
+    next conv's input columns, and — for the final unit — the first FC
+    layer's input columns corresponding to the flattened feature map.
+    """
+    params = dict(model.named_parameters())
+    masks: Dict[str, np.ndarray] = {}
+
+    def ensure(name: str) -> np.ndarray:
+        if name not in masks:
+            masks[name] = np.ones(params[name].shape)
+        return masks[name]
+
+    for unit in model.conv_units:
+        keep = channels[unit.bn].astype(np.float64)
+        conv_weight = ensure(f"{unit.conv}.weight")
+        conv_weight *= keep[:, None, None, None]
+        if f"{unit.conv}.bias" in params:
+            ensure(f"{unit.conv}.bias")
+            masks[f"{unit.conv}.bias"] *= keep
+        ensure(f"{unit.bn}.weight")
+        masks[f"{unit.bn}.weight"] *= keep
+        ensure(f"{unit.bn}.bias")
+        masks[f"{unit.bn}.bias"] *= keep
+
+        if unit.next_conv is not None:
+            next_weight = ensure(f"{unit.next_conv}.weight")
+            next_weight *= keep[None, :, None, None]
+        elif model.first_fc is not None:
+            if unit.spatial is None:
+                raise ValueError(
+                    f"conv unit {unit.conv} feeds the classifier but has no "
+                    "spatial size; set ConvUnit.spatial"
+                )
+            fc_weight = ensure(f"{model.first_fc}.weight")
+            per_channel = unit.spatial * unit.spatial
+            expected = keep.size * per_channel
+            if fc_weight.shape[1] != expected:
+                raise ValueError(
+                    f"{model.first_fc}.weight expects {fc_weight.shape[1]} inputs "
+                    f"but channel map implies {expected}"
+                )
+            column_keep = np.repeat(keep, per_channel)
+            fc_weight *= column_keep[None, :]
+
+    return MaskSet(masks)
+
+
+@dataclass(frozen=True)
+class ReductionReport:
+    """Analytic FLOP / parameter reduction from a channel mask."""
+
+    dense_flops: int
+    pruned_flops: int
+    dense_params: int
+    pruned_params: int
+
+    @property
+    def flop_reduction(self) -> float:
+        """Speed-up factor, e.g. 2.4 means 2.4× fewer conv FLOPs."""
+        if self.pruned_flops == 0:
+            return float("inf")
+        return self.dense_flops / self.pruned_flops
+
+    @property
+    def param_reduction(self) -> float:
+        """Fraction of parameters removed (paper's Table 2 convention)."""
+        if self.dense_params == 0:
+            return 0.0
+        return 1.0 - self.pruned_params / self.dense_params
+
+
+def conv_spatial_sizes(model: ConvNet, input_size: int) -> Dict[str, int]:
+    """Output spatial side of each conv, assuming conv(valid) + 2×2 pool.
+
+    Matches both paper architectures (conv5×5 stride 1 no padding, each
+    followed by 2×2 max pooling).  Models with a different layout can
+    override ``ConvNet.conv_spatial_sizes``.
+    """
+    override = getattr(model, "conv_spatial_sizes", None)
+    if callable(override):
+        return override(input_size)
+    modules = dict(model.named_modules())
+    sizes = {}
+    size = input_size
+    for unit in model.conv_units:
+        conv = modules[unit.conv]
+        size = (size + 2 * conv.padding - conv.kernel_size) // conv.stride + 1
+        sizes[unit.conv] = size
+        size //= 2  # the 2x2 max pool that follows every conv in the paper
+    return sizes
+
+
+def reduction_report(
+    model: ConvNet, channels: Optional[ChannelMask], input_size: int
+) -> ReductionReport:
+    """Compute conv-FLOP and total-parameter reduction for a channel mask.
+
+    FLOPs follow the paper's §4.2.3 convention: convolution operations only
+    (BN/pooling ignored), counted as multiply-accumulates:
+    ``out_h * out_w * k^2 * in_channels * out_channels``.
+    """
+    modules = dict(model.named_modules())
+    spatial = conv_spatial_sizes(model, input_size)
+
+    dense_flops = 0
+    pruned_flops = 0
+    dense_params = model.num_parameters()
+    removed_params = 0
+
+    prev_keep: Optional[int] = None
+    prev_total: Optional[int] = None
+    for unit in model.conv_units:
+        conv = modules[unit.conv]
+        out_side = spatial[unit.conv]
+        in_total = conv.in_channels if prev_total is None else prev_total
+        in_keep = conv.in_channels if prev_keep is None else prev_keep
+        out_total = conv.out_channels
+        if channels is not None and unit.bn in channels:
+            out_keep = int(channels[unit.bn].sum())
+        else:
+            out_keep = out_total
+        k2 = conv.kernel_size ** 2
+        area = out_side * out_side
+        dense_flops += area * k2 * in_total * out_total
+        pruned_flops += area * k2 * in_keep * out_keep
+        # Parameter removal: conv weights whose row or column is gone.
+        dense_w = k2 * in_total * out_total
+        kept_w = k2 * in_keep * out_keep
+        removed_params += dense_w - kept_w
+        removed_params += out_total - out_keep  # conv bias
+        removed_params += 2 * (out_total - out_keep)  # bn gamma/beta
+        if unit.next_conv is None and model.first_fc is not None and unit.spatial:
+            per_channel = unit.spatial ** 2
+            fc = modules[model.first_fc]
+            removed_params += (out_total - out_keep) * per_channel * fc.out_features
+        prev_keep, prev_total = out_keep, out_total
+
+    return ReductionReport(
+        dense_flops=dense_flops,
+        pruned_flops=pruned_flops,
+        dense_params=dense_params,
+        pruned_params=dense_params - removed_params,
+    )

@@ -1,0 +1,105 @@
+"""Unstructured (parameter-level) magnitude pruning.
+
+Implements the mask-derivation step of Algorithm 1: given a pruning rate
+``r``, assign 0 to the lowest ``r``-fraction of parameter magnitudes and 1
+to the rest.  Biases and batch-norm parameters are exempt (standard
+magnitude-pruning practice, Han et al. 2015); the caller chooses the weight
+tensors in scope — all weights for Sub-FedAvg (Un), FC weights only for
+Sub-FedAvg (Hy).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+import numpy as np
+
+from .mask import MaskSet
+
+
+def magnitude_mask(
+    state: Mapping[str, np.ndarray],
+    names: Iterable[str],
+    rate: float,
+    scope: str = "global",
+    previous: Optional[MaskSet] = None,
+) -> MaskSet:
+    """Derive a keep-mask pruning the smallest-magnitude ``rate`` fraction.
+
+    Parameters
+    ----------
+    state:
+        ``name -> array`` of current parameter values (e.g. a state dict).
+    names:
+        Which tensors participate.
+    rate:
+        Target fraction of the *covered* coordinates to prune, in ``[0, 1)``.
+    scope:
+        ``"global"`` ranks magnitudes across all covered tensors jointly
+        (lottery-ticket convention); ``"layer"`` prunes ``rate`` within each
+        tensor independently.
+    previous:
+        Optional committed mask; coordinates it already prunes stay pruned
+        (their stored value is zero, so they rank lowest anyway — the AND
+        makes monotonicity explicit and robust to ties at zero).
+    """
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"pruning rate must be in [0, 1), got {rate}")
+    names = list(names)
+    for name in names:
+        if name not in state:
+            raise KeyError(f"state has no tensor named {name!r}")
+
+    result = MaskSet()
+    if scope == "global":
+        magnitudes = np.concatenate([np.abs(state[name]).ravel() for name in names])
+        threshold = _rank_threshold(magnitudes, rate)
+        for name in names:
+            result[name] = (np.abs(state[name]) > threshold).astype(np.float64)
+    elif scope == "layer":
+        for name in names:
+            magnitudes = np.abs(state[name]).ravel()
+            threshold = _rank_threshold(magnitudes, rate)
+            result[name] = (np.abs(state[name]) > threshold).astype(np.float64)
+    else:
+        raise ValueError(f"scope must be 'global' or 'layer', got {scope!r}")
+
+    if previous is not None:
+        result = result.intersect(previous)
+    return result
+
+
+def _rank_threshold(magnitudes: np.ndarray, rate: float) -> float:
+    """Magnitude below-or-equal-to which coordinates are pruned.
+
+    Uses a rank-based cut (k-th smallest) rather than a percentile
+    interpolation so exactly ``floor(rate * n)`` coordinates fall at or
+    below the threshold when magnitudes are distinct.
+    """
+    count = magnitudes.size
+    k = int(np.floor(rate * count))
+    if k <= 0:
+        return -np.inf  # keep everything (strict > comparison)
+    if k >= count:
+        return float(np.max(magnitudes))
+    return float(np.partition(magnitudes, k - 1)[k - 1])
+
+
+def sparsity_of(state: Mapping[str, np.ndarray], names: Iterable[str]) -> float:
+    """Fraction of exactly-zero coordinates among the named tensors."""
+    names = list(names)
+    total = sum(state[name].size for name in names)
+    zeros = sum(int((state[name] == 0).sum()) for name in names)
+    return zeros / total if total else 0.0
+
+
+def random_mask(
+    shapes: Dict[str, tuple], rate: float, rng: np.random.Generator
+) -> MaskSet:
+    """Random keep-mask at the given rate (ablation baseline for magnitude)."""
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"pruning rate must be in [0, 1), got {rate}")
+    result = MaskSet()
+    for name, shape in shapes.items():
+        result[name] = (rng.random(shape) >= rate).astype(np.float64)
+    return result

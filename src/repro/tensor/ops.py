@@ -1,0 +1,291 @@
+"""Structured ops with hand-written backward passes.
+
+Convolution, max-pooling and batch normalization are implemented as single
+graph nodes rather than compositions of primitive tensor ops.  This keeps the
+autograd graph small and the numpy work vectorized, which matters because the
+federated experiments train hundreds of client models.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def _conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(
+    padded: np.ndarray, kernel_h: int, kernel_w: int, stride: int, out_h: int, out_w: int
+) -> np.ndarray:
+    """Unfold a padded ``(N, C, H, W)`` batch into ``(N, C*kh*kw, out_h*out_w)``."""
+    batch, channels = padded.shape[:2]
+    cols = np.empty(
+        (batch, channels, kernel_h, kernel_w, out_h, out_w), dtype=padded.dtype
+    )
+    for i in range(kernel_h):
+        i_end = i + stride * out_h
+        for j in range(kernel_w):
+            j_end = j + stride * out_w
+            cols[:, :, i, j] = padded[:, :, i:i_end:stride, j:j_end:stride]
+    return cols.reshape(batch, channels * kernel_h * kernel_w, out_h * out_w)
+
+
+def col2im(
+    cols: np.ndarray,
+    padded_shape: Tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    out_h: int,
+    out_w: int,
+) -> np.ndarray:
+    """Fold ``(N, C*kh*kw, out_h*out_w)`` columns back, summing overlaps."""
+    batch, channels = padded_shape[:2]
+    grad = np.zeros(padded_shape, dtype=cols.dtype)
+    cols = cols.reshape(batch, channels, kernel_h, kernel_w, out_h, out_w)
+    for i in range(kernel_h):
+        i_end = i + stride * out_h
+        for j in range(kernel_w):
+            j_end = j + stride * out_w
+            grad[:, :, i:i_end:stride, j:j_end:stride] += cols[:, :, i, j]
+    return grad
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D cross-correlation of ``x`` ``(N, C, H, W)`` with ``weight`` ``(F, C, kh, kw)``."""
+    batch, in_channels, height, width = x.shape
+    out_channels, weight_channels, kernel_h, kernel_w = weight.shape
+    if in_channels != weight_channels:
+        raise ValueError(
+            f"input has {in_channels} channels but weight expects {weight_channels}"
+        )
+    out_h = _conv_output_size(height, kernel_h, stride, padding)
+    out_w = _conv_output_size(width, kernel_w, stride, padding)
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError("convolution output size is non-positive; check kernel/stride/padding")
+
+    if padding:
+        padded = np.pad(x.data, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    else:
+        padded = x.data
+    cols = im2col(padded, kernel_h, kernel_w, stride, out_h, out_w)
+    w2d = weight.data.reshape(out_channels, -1)
+    result = np.einsum("fk,nkl->nfl", w2d, cols, optimize=True)
+    result = result.reshape(batch, out_channels, out_h, out_w)
+    if bias is not None:
+        result = result + bias.data.reshape(1, -1, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    requires = any(p.requires_grad for p in parents)
+    out = Tensor(result, requires_grad=requires, _parents=parents)
+
+    def _backward(grad: np.ndarray) -> None:
+        grad2d = grad.reshape(batch, out_channels, out_h * out_w)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+        if weight.requires_grad:
+            grad_w = np.einsum("nfl,nkl->fk", grad2d, cols, optimize=True)
+            weight._accumulate(grad_w.reshape(weight.shape))
+        if x.requires_grad:
+            grad_cols = np.einsum("fk,nfl->nkl", w2d, grad2d, optimize=True)
+            grad_padded = col2im(
+                grad_cols, padded.shape, kernel_h, kernel_w, stride, out_h, out_w
+            )
+            if padding:
+                grad_x = grad_padded[:, :, padding:-padding, padding:-padding]
+            else:
+                grad_x = grad_padded
+            x._accumulate(grad_x)
+
+    out._backward = _backward
+    return out
+
+
+def max_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tensor:
+    """Max pooling over ``(N, C, H, W)`` with square windows."""
+    if stride is None:
+        stride = kernel
+    batch, channels, height, width = x.shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+
+    windows = np.empty(
+        (batch, channels, out_h, out_w, kernel * kernel), dtype=x.data.dtype
+    )
+    idx = 0
+    for i in range(kernel):
+        i_end = i + stride * out_h
+        for j in range(kernel):
+            j_end = j + stride * out_w
+            windows[..., idx] = x.data[:, :, i:i_end:stride, j:j_end:stride]
+            idx += 1
+    argmax = windows.argmax(axis=-1)
+    value = np.take_along_axis(windows, argmax[..., None], axis=-1)[..., 0]
+
+    out = Tensor(value, requires_grad=x.requires_grad, _parents=(x,))
+
+    def _backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        grad_x = np.zeros_like(x.data)
+        flat = argmax
+        for idx in range(kernel * kernel):
+            i, j = divmod(idx, kernel)
+            mask = flat == idx
+            if not mask.any():
+                continue
+            i_end = i + stride * out_h
+            j_end = j + stride * out_w
+            grad_x[:, :, i:i_end:stride, j:j_end:stride] += grad * mask
+        x._accumulate(grad_x)
+
+    out._backward = _backward
+    return out
+
+
+def batch_norm(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalization over the channel axis of ``(N, C)`` or ``(N, C, H, W)``.
+
+    ``running_mean`` / ``running_var`` are updated in place during training,
+    mirroring PyTorch semantics (exponential moving average with ``momentum``).
+    """
+    if x.ndim == 4:
+        axes = (0, 2, 3)
+        shape = (1, -1, 1, 1)
+        count = x.shape[0] * x.shape[2] * x.shape[3]
+    elif x.ndim == 2:
+        axes = (0,)
+        shape = (1, -1)
+        count = x.shape[0]
+    else:
+        raise ValueError(f"batch_norm expects 2-D or 4-D input, got {x.ndim}-D")
+
+    if training:
+        mean = x.data.mean(axis=axes)
+        var = x.data.var(axis=axes)
+        if count > 1:
+            unbiased = var * count / (count - 1)
+        else:
+            unbiased = var
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean
+        running_var *= 1.0 - momentum
+        running_var += momentum * unbiased
+    else:
+        mean = running_mean
+        var = running_var
+
+    # Clamp to non-negative: running_var loaded from an untrusted state dict
+    # (e.g. a corrupted federated upload) may be negative, and NaNs here
+    # would silently poison every downstream activation.
+    inv_std = 1.0 / np.sqrt(np.maximum(var, 0.0) + eps)
+    x_hat = (x.data - mean.reshape(shape)) * inv_std.reshape(shape)
+    result = gamma.data.reshape(shape) * x_hat + beta.data.reshape(shape)
+
+    parents = (x, gamma, beta)
+    requires = any(p.requires_grad for p in parents)
+    out = Tensor(result, requires_grad=requires, _parents=parents)
+
+    def _backward(grad: np.ndarray) -> None:
+        if beta.requires_grad:
+            beta._accumulate(grad.sum(axis=axes))
+        if gamma.requires_grad:
+            gamma._accumulate((grad * x_hat).sum(axis=axes))
+        if not x.requires_grad:
+            return
+        g = gamma.data.reshape(shape)
+        if training:
+            grad_xhat = grad * g
+            sum_grad = grad_xhat.sum(axis=axes, keepdims=True)
+            sum_grad_xhat = (grad_xhat * x_hat).sum(axis=axes, keepdims=True)
+            grad_x = (
+                inv_std.reshape(shape)
+                / count
+                * (count * grad_xhat - sum_grad - x_hat * sum_grad_xhat)
+            )
+        else:
+            grad_x = grad * g * inv_std.reshape(shape)
+        x._accumulate(grad_x)
+
+    out._backward = _backward
+    return out
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    value = shifted - log_sum
+    out = Tensor(value, requires_grad=x.requires_grad, _parents=(x,))
+    softmax = np.exp(value)
+
+    def _backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad - softmax * grad.sum(axis=axis, keepdims=True))
+
+    out._backward = _backward
+    return out
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` (computed through :func:`log_softmax`)."""
+    return log_softmax(x, axis=axis).exp()
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
+    """Negative log-likelihood of integer ``targets`` under ``log_probs``."""
+    targets = np.asarray(targets)
+    batch = log_probs.shape[0]
+    picked = log_probs.data[np.arange(batch), targets]
+    value = -picked.mean()
+    out = Tensor(value, requires_grad=log_probs.requires_grad, _parents=(log_probs,))
+
+    def _backward(grad: np.ndarray) -> None:
+        if log_probs.requires_grad:
+            full = np.zeros_like(log_probs.data)
+            full[np.arange(batch), targets] = -1.0 / batch
+            log_probs._accumulate(full * grad)
+
+    out._backward = _backward
+    return out
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Softmax cross-entropy between ``logits`` ``(N, K)`` and integer targets."""
+    return nll_loss(log_softmax(logits, axis=-1), targets)
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool) -> Tensor:
+    """Inverted dropout; identity when not training or ``rate == 0``."""
+    if not training or rate <= 0.0:
+        return x
+    keep = 1.0 - rate
+    mask = (rng.random(x.shape) < keep) / keep
+    out = Tensor(x.data * mask, requires_grad=x.requires_grad, _parents=(x,))
+
+    def _backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * mask)
+
+    out._backward = _backward
+    return out

@@ -1,0 +1,519 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This module provides the :class:`Tensor` class, a thin wrapper around
+``numpy.ndarray`` that records a computation graph and supports
+backpropagation.  It replaces the subset of PyTorch functionality the
+Sub-FedAvg reproduction needs: elementwise arithmetic with broadcasting,
+matrix multiplication, reductions, reshaping and indexing.  Convolution,
+pooling and batch-norm live in :mod:`repro.tensor.ops` as dedicated ops with
+hand-written backward passes for speed.
+
+Design notes
+------------
+* Gradients are accumulated into ``Tensor.grad`` as plain numpy arrays.
+* The graph is a DAG of tensors; ``backward()`` runs a topological sort and
+  calls each node's ``_backward`` closure exactly once.
+* Broadcasting in the forward pass is undone in the backward pass by
+  :func:`unbroadcast`, which sums gradient over broadcast axes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+DEFAULT_DTYPE = np.float64
+
+
+def _as_array(data: ArrayLike, dtype=DEFAULT_DTYPE) -> np.ndarray:
+    """Coerce ``data`` to a numpy array of the engine's default dtype."""
+    if isinstance(data, np.ndarray):
+        if data.dtype == dtype:
+            return data
+        return data.astype(dtype)
+    return np.asarray(data, dtype=dtype)
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so that it has ``shape``.
+
+    Numpy broadcasting may have expanded an operand from ``shape`` to
+    ``grad.shape`` during the forward pass; the chain rule requires summing
+    the incoming gradient over every broadcast dimension.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over dimensions that were 1 in the original shape.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array plus the bookkeeping needed for backpropagation."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _parents: Tuple["Tensor", ...] = (),
+        name: Optional[str] = None,
+    ) -> None:
+        self.data = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents = _parents
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but outside the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _lift(value: ArrayLike) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.copy() if grad.base is not None or grad.flags.writeable is False else grad
+        else:
+            self.grad = self.grad + grad
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph."""
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.size != 1:
+                raise RuntimeError("grad must be supplied for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        grad = _as_array(grad)
+        if grad.shape != self.shape:
+            raise ValueError(f"grad shape {grad.shape} does not match tensor shape {self.shape}")
+
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = self._lift(other)
+        out = Tensor(
+            self.data + other.data,
+            requires_grad=self.requires_grad or other.requires_grad,
+            _parents=(self, other),
+        )
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(unbroadcast(grad, other.shape))
+
+        out._backward = _backward
+        return out
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        out = Tensor(-self.data, requires_grad=self.requires_grad, _parents=(self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        out._backward = _backward
+        return out
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self + (-self._lift(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return self._lift(other) + (-self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = self._lift(other)
+        out = Tensor(
+            self.data * other.data,
+            requires_grad=self.requires_grad or other.requires_grad,
+            _parents=(self, other),
+        )
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(unbroadcast(grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(unbroadcast(grad * self.data, other.shape))
+
+        out._backward = _backward
+        return out
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = self._lift(other)
+        out = Tensor(
+            self.data / other.data,
+            requires_grad=self.requires_grad or other.requires_grad,
+            _parents=(self, other),
+        )
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(unbroadcast(grad / other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(
+                    unbroadcast(-grad * self.data / (other.data ** 2), other.shape)
+                )
+
+        out._backward = _backward
+        return out
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return self._lift(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out = Tensor(self.data ** exponent, requires_grad=self.requires_grad, _parents=(self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        out._backward = _backward
+        return out
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        other = self._lift(other)
+        out = Tensor(
+            self.data @ other.data,
+            requires_grad=self.requires_grad or other.requires_grad,
+            _parents=(self, other),
+        )
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                if other.data.ndim == 1:
+                    self._accumulate(np.outer(grad, other.data) if grad.ndim == 1 else grad[..., None] * other.data)
+                else:
+                    self._accumulate(unbroadcast(grad @ other.data.swapaxes(-1, -2), self.shape))
+            if other.requires_grad:
+                if self.data.ndim == 1:
+                    other._accumulate(np.outer(self.data, grad))
+                else:
+                    other._accumulate(unbroadcast(self.data.swapaxes(-1, -2) @ grad, other.shape))
+
+        out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Elementwise functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        value = np.exp(self.data)
+        out = Tensor(value, requires_grad=self.requires_grad, _parents=(self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * value)
+
+        out._backward = _backward
+        return out
+
+    def log(self) -> "Tensor":
+        out = Tensor(np.log(self.data), requires_grad=self.requires_grad, _parents=(self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        out._backward = _backward
+        return out
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def tanh(self) -> "Tensor":
+        value = np.tanh(self.data)
+        out = Tensor(value, requires_grad=self.requires_grad, _parents=(self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - value ** 2))
+
+        out._backward = _backward
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        value = 1.0 / (1.0 + np.exp(-self.data))
+        out = Tensor(value, requires_grad=self.requires_grad, _parents=(self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * value * (1.0 - value))
+
+        out._backward = _backward
+        return out
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out = Tensor(self.data * mask, requires_grad=self.requires_grad, _parents=(self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        out._backward = _backward
+        return out
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        out = Tensor(np.abs(self.data), requires_grad=self.requires_grad, _parents=(self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * sign)
+
+        out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out = Tensor(
+            self.data.sum(axis=axis, keepdims=keepdims),
+            requires_grad=self.requires_grad,
+            _parents=(self,),
+        )
+
+        def _backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                for ax in sorted(a % self.ndim for a in axes):
+                    g = np.expand_dims(g, ax)
+            self._accumulate(np.broadcast_to(g, self.shape).copy())
+
+        out._backward = _backward
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a % self.ndim] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        mu = self.mean(axis=axis, keepdims=True)
+        sq = (self - mu) ** 2
+        return sq.mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        value = self.data.max(axis=axis, keepdims=keepdims)
+        out = Tensor(value, requires_grad=self.requires_grad, _parents=(self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            expanded = self.data.max(axis=axis, keepdims=True)
+            mask = self.data == expanded
+            counts = mask.sum(axis=axis, keepdims=True)
+            g = grad
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                for ax in sorted(a % self.ndim for a in axes):
+                    g = np.expand_dims(g, ax)
+            self._accumulate(mask * g / counts)
+
+        out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out = Tensor(self.data.reshape(shape), requires_grad=self.requires_grad, _parents=(self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(self.shape))
+
+        out._backward = _backward
+        return out
+
+    def flatten_batch(self) -> "Tensor":
+        """Flatten all dimensions except the leading batch dimension."""
+        return self.reshape(self.shape[0], -1)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        out = Tensor(self.data.transpose(axes), requires_grad=self.requires_grad, _parents=(self,))
+        inverse = np.argsort(axes)
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.transpose(inverse))
+
+        out._backward = _backward
+        return out
+
+    def __getitem__(self, index) -> "Tensor":
+        out = Tensor(self.data[index], requires_grad=self.requires_grad, _parents=(self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, grad)
+                self._accumulate(full)
+
+        out._backward = _backward
+        return out
+
+    def pad2d(self, padding: int) -> "Tensor":
+        """Zero-pad the last two (spatial) dimensions symmetrically."""
+        if padding == 0:
+            return self
+        pad_width = [(0, 0)] * (self.ndim - 2) + [(padding, padding), (padding, padding)]
+        out = Tensor(np.pad(self.data, pad_width), requires_grad=self.requires_grad, _parents=(self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                slices = [slice(None)] * (self.ndim - 2) + [
+                    slice(padding, -padding),
+                    slice(padding, -padding),
+                ]
+                self._accumulate(grad[tuple(slices)])
+
+        out._backward = _backward
+        return out
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    tensors = [Tensor._lift(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    requires = any(t.requires_grad for t in tensors)
+    out = Tensor(data, requires_grad=requires, _parents=tuple(tensors))
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def _backward(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                slicer = [slice(None)] * grad.ndim
+                slicer[axis] = slice(start, stop)
+                tensor._accumulate(grad[tuple(slicer)])
+
+    out._backward = _backward
+    return out
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient support."""
+    tensors = [Tensor._lift(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+    requires = any(t.requires_grad for t in tensors)
+    out = Tensor(data, requires_grad=requires, _parents=tuple(tensors))
+
+    def _backward(grad: np.ndarray) -> None:
+        moved = np.moveaxis(grad, axis, 0)
+        for tensor, g in zip(tensors, moved):
+            if tensor.requires_grad:
+                tensor._accumulate(g)
+
+    out._backward = _backward
+    return out
+
+
+def zeros(shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+
+def ones(shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones(shape), requires_grad=requires_grad)

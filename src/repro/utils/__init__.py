@@ -1,0 +1,26 @@
+"""Shared utilities: seeding, logging, timing."""
+
+from .rng import seed_everything, spawn_rng
+from .logging import get_logger
+from .timer import Timer
+from .serialization import (
+    load_history,
+    load_mask,
+    load_state,
+    save_history,
+    save_mask,
+    save_state,
+)
+
+__all__ = [
+    "seed_everything",
+    "spawn_rng",
+    "get_logger",
+    "Timer",
+    "save_state",
+    "load_state",
+    "save_mask",
+    "load_mask",
+    "save_history",
+    "load_history",
+]

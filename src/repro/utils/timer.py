@@ -1,0 +1,38 @@
+"""Wall-clock timing helper for experiment drivers."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Timer:
+    """Context manager / stopwatch measuring elapsed seconds."""
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def start(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def lap(self) -> float:
+        """Elapsed seconds since start without stopping."""
+        if self._start is None:
+            raise RuntimeError("Timer.lap() called before start()")
+        return time.perf_counter() - self._start

@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import ArrayDataset
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_cnn(rng):
+    """A minimal conv->bn->pool->fc network for fast end-to-end tests."""
+    return nn.Sequential(
+        nn.Conv2d(1, 4, kernel_size=3, padding=1, rng=rng),
+        nn.BatchNorm2d(4),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.Flatten(),
+        nn.Linear(4 * 4 * 4, 3, rng=rng),
+    )
+
+
+@pytest.fixture
+def blob_dataset(rng):
+    """A linearly separable 3-class image dataset (60 examples, 1x8x8)."""
+    images = rng.normal(size=(60, 1, 8, 8))
+    labels = rng.integers(0, 3, size=60)
+    for k in range(3):
+        images[labels == k, 0, k, :] += 3.0
+    return ArrayDataset(images, labels)
+
+
+def make_blob_arrays(rng, count=60, classes=3, side=8):
+    images = rng.normal(size=(count, 1, side, side))
+    labels = rng.integers(0, classes, size=count)
+    for k in range(classes):
+        images[labels == k, 0, k % side, :] += 3.0
+    return images, labels

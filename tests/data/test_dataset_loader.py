@@ -1,0 +1,123 @@
+"""Dataset containers and the batch loader."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset, DataLoader, Subset, full_batch, train_val_split
+
+
+def make_dataset(count=20, classes=4, rng=None):
+    rng = rng or np.random.default_rng(0)
+    images = rng.normal(size=(count, 1, 4, 4))
+    labels = np.arange(count) % classes
+    return ArrayDataset(images, labels)
+
+
+class TestArrayDataset:
+    def test_len_and_getitem(self):
+        dataset = make_dataset(10)
+        assert len(dataset) == 10
+        image, label = dataset[3]
+        assert image.shape == (1, 4, 4)
+        assert label == 3
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="length"):
+            ArrayDataset(np.zeros((3, 1, 2, 2)), np.zeros(4))
+
+    def test_non_4d_raises(self):
+        with pytest.raises(ValueError, match="N, C, H, W"):
+            ArrayDataset(np.zeros((3, 4)), np.zeros(3))
+
+    def test_num_classes(self):
+        assert make_dataset(12, classes=4).num_classes == 4
+
+    def test_batch_gather(self):
+        dataset = make_dataset(10)
+        images, labels = dataset.batch([0, 5, 9])
+        assert images.shape == (3, 1, 4, 4)
+        np.testing.assert_array_equal(labels, [0, 1, 1])
+
+
+class TestSubset:
+    def test_view_semantics(self):
+        dataset = make_dataset(10)
+        subset = Subset(dataset, [2, 4, 6])
+        assert len(subset) == 3
+        np.testing.assert_array_equal(subset.labels, [2, 0, 2])
+
+    def test_nested_subset_batch(self):
+        dataset = make_dataset(10)
+        inner = Subset(dataset, [1, 3, 5, 7])
+        outer = Subset(inner, [0, 2])
+        images, labels = outer.batch([0, 1])
+        np.testing.assert_array_equal(labels, [1, 1])
+        np.testing.assert_array_equal(images, dataset.images[[1, 5]])
+
+
+class TestTrainValSplit:
+    def test_sizes_and_disjoint(self, rng):
+        dataset = make_dataset(20)
+        train, val = train_val_split(dataset, 0.25, rng)
+        assert len(train) == 15 and len(val) == 5
+        assert not set(train.indices) & set(val.indices)
+
+    def test_zero_fraction(self, rng):
+        train, val = train_val_split(make_dataset(10), 0.0, rng)
+        assert len(val) == 0 and len(train) == 10
+
+    def test_small_dataset_gets_nonempty_val(self, rng):
+        train, val = train_val_split(make_dataset(4), 0.05, rng)
+        assert len(val) == 1
+
+    def test_invalid_fraction_raises(self, rng):
+        with pytest.raises(ValueError):
+            train_val_split(make_dataset(4), 1.0, rng)
+
+
+class TestDataLoader:
+    def test_batch_count(self):
+        loader = DataLoader(make_dataset(10), batch_size=3, shuffle=False)
+        assert len(loader) == 4
+        batches = list(loader)
+        assert [len(b[1]) for b in batches] == [3, 3, 3, 1]
+
+    def test_drop_last(self):
+        loader = DataLoader(make_dataset(10), batch_size=3, drop_last=True)
+        assert len(loader) == 3
+        assert all(len(labels) == 3 for _, labels in loader)
+
+    def test_covers_every_example_once(self):
+        dataset = make_dataset(17)
+        loader = DataLoader(dataset, batch_size=5, seed=3)
+        seen = np.concatenate([labels for _, labels in loader])
+        assert len(seen) == 17
+
+    def test_shuffle_differs_across_epochs(self):
+        dataset = make_dataset(32)
+        loader = DataLoader(dataset, batch_size=32, seed=0)
+        first = next(iter(loader))[1]
+        second = next(iter(loader))[1]
+        assert not np.array_equal(first, second)
+
+    def test_seeded_loaders_agree(self):
+        dataset = make_dataset(16)
+        a = [labels for _, labels in DataLoader(dataset, batch_size=4, seed=9)]
+        b = [labels for _, labels in DataLoader(dataset, batch_size=4, seed=9)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_no_shuffle_is_sequential(self):
+        loader = DataLoader(make_dataset(6), batch_size=2, shuffle=False)
+        labels = np.concatenate([y for _, y in loader])
+        np.testing.assert_array_equal(labels, np.arange(6) % 4)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(make_dataset(4), batch_size=0)
+
+    def test_full_batch(self):
+        dataset = make_dataset(7)
+        images, labels = full_batch(dataset)
+        assert images.shape == (7, 1, 4, 4)
+        assert len(labels) == 7

@@ -1,0 +1,117 @@
+"""Synthetic dataset generators: shapes, determinism, learnability."""
+
+import numpy as np
+import pytest
+
+from repro.data import SPECS, class_templates, generate_split, load_dataset
+from repro.data.synthetic import DatasetSpec
+
+
+class TestSpecs:
+    def test_all_families_present(self):
+        assert set(SPECS) == {"mnist", "emnist", "cifar10", "cifar100"}
+
+    @pytest.mark.parametrize(
+        "name,shape,classes",
+        [
+            ("mnist", (1, 28, 28), 10),
+            ("emnist", (1, 28, 28), 26),
+            ("cifar10", (3, 32, 32), 10),
+            ("cifar100", (3, 32, 32), 100),
+        ],
+    )
+    def test_shapes_and_classes(self, name, shape, classes):
+        spec = SPECS[name]
+        assert spec.shape == shape
+        assert spec.num_classes == classes
+
+    def test_difficulty_ordering(self):
+        """Signal-to-noise should decrease from MNIST to CIFAR-100."""
+        snr = {name: spec.signal / spec.noise for name, spec in SPECS.items()}
+        assert snr["mnist"] >= snr["cifar10"] >= snr["cifar100"]
+
+
+class TestTemplates:
+    def test_deterministic(self):
+        a = class_templates(SPECS["mnist"], seed=5)
+        b = class_templates(SPECS["mnist"], seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_templates(self):
+        a = class_templates(SPECS["mnist"], seed=5)
+        b = class_templates(SPECS["mnist"], seed=6)
+        assert not np.allclose(a, b)
+
+    def test_unit_rms(self):
+        templates = class_templates(SPECS["cifar10"], seed=0)
+        rms = np.sqrt((templates ** 2).mean(axis=(1, 2, 3)))
+        np.testing.assert_allclose(rms, 1.0, atol=1e-10)
+
+    def test_classes_distinct(self):
+        templates = class_templates(SPECS["mnist"], seed=0)
+        flattened = templates.reshape(len(templates), -1)
+        gram = flattened @ flattened.T
+        norm = np.sqrt(np.outer(np.diag(gram), np.diag(gram)))
+        cosine = gram / norm
+        off_diagonal = cosine[~np.eye(len(cosine), dtype=bool)]
+        assert np.abs(off_diagonal).max() < 0.9
+
+
+class TestGeneration:
+    def test_balanced_labels(self):
+        dataset = generate_split(SPECS["mnist"], 100, seed=0, split="train")
+        _, counts = np.unique(dataset.labels, return_counts=True)
+        assert counts.min() == counts.max() == 10
+
+    def test_remainder_distributed(self):
+        dataset = generate_split(SPECS["mnist"], 103, seed=0, split="train")
+        _, counts = np.unique(dataset.labels, return_counts=True)
+        assert counts.sum() == 103
+        assert counts.max() - counts.min() <= 1
+
+    def test_train_test_differ(self):
+        train, test = load_dataset("mnist", 50, 50, seed=0)
+        assert not np.allclose(train.images[:10], test.images[:10])
+
+    def test_deterministic_given_seed(self):
+        a, _ = load_dataset("cifar10", 40, 10, seed=3)
+        b, _ = load_dataset("cifar10", 40, 10, seed=3)
+        np.testing.assert_array_equal(a.images, b.images)
+
+    def test_standardized(self):
+        dataset = generate_split(SPECS["cifar10"], 200, seed=0, split="train")
+        assert abs(dataset.images.mean()) < 1e-6
+        assert abs(dataset.images.std() - 1.0) < 1e-6
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("imagenet", 10, 10)
+
+    def test_nonpositive_count_raises(self):
+        with pytest.raises(ValueError):
+            generate_split(SPECS["mnist"], 0, seed=0, split="train")
+
+
+class TestLearnability:
+    """The phenomena the paper needs: classes are separable from few shots."""
+
+    def test_nearest_template_beats_chance(self):
+        spec = SPECS["mnist"]
+        templates = class_templates(spec, seed=0).reshape(spec.num_classes, -1)
+        dataset = generate_split(spec, 200, seed=0, split="test")
+        flat = dataset.images.reshape(len(dataset), -1)
+        scores = flat @ templates.T
+        predictions = scores.argmax(axis=1)
+        accuracy = (predictions == dataset.labels).mean()
+        assert accuracy > 0.5  # chance = 0.1
+
+    def test_cifar100_is_harder_than_mnist(self):
+        accuracies = {}
+        for name in ("mnist", "cifar100"):
+            spec = SPECS[name]
+            templates = class_templates(spec, seed=0).reshape(spec.num_classes, -1)
+            dataset = generate_split(spec, 300, seed=0, split="test")
+            flat = dataset.images.reshape(len(dataset), -1)
+            predictions = (flat @ templates.T).argmax(axis=1)
+            accuracies[name] = (predictions == dataset.labels).mean()
+        assert accuracies["mnist"] > accuracies["cifar100"]

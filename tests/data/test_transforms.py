@@ -1,0 +1,122 @@
+"""Augmentation transforms and the augmented dataset view."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ArrayDataset,
+    AugmentedDataset,
+    Compose,
+    DataLoader,
+    GaussianNoise,
+    Normalize,
+    RandomCrop,
+    RandomHorizontalFlip,
+)
+
+
+def images_of(count=8, channels=3, side=8, rng=None):
+    rng = rng or np.random.default_rng(0)
+    return rng.normal(size=(count, channels, side, side))
+
+
+class TestRandomHorizontalFlip:
+    def test_prob_one_flips_everything(self, rng):
+        images = images_of(rng=rng)
+        flipped = RandomHorizontalFlip(1.0)(images, rng)
+        np.testing.assert_array_equal(flipped, images[:, :, :, ::-1])
+
+    def test_prob_zero_identity(self, rng):
+        images = images_of(rng=rng)
+        out = RandomHorizontalFlip(0.0)(images, rng)
+        np.testing.assert_array_equal(out, images)
+
+    def test_does_not_mutate_input(self, rng):
+        images = images_of(rng=rng)
+        before = images.copy()
+        RandomHorizontalFlip(1.0)(images, rng)
+        np.testing.assert_array_equal(images, before)
+
+    def test_invalid_prob(self):
+        with pytest.raises(ValueError):
+            RandomHorizontalFlip(1.5)
+
+
+class TestRandomCrop:
+    def test_preserves_shape(self, rng):
+        images = images_of(rng=rng)
+        out = RandomCrop(2)(images, rng)
+        assert out.shape == images.shape
+
+    def test_content_is_a_shifted_window(self, rng):
+        """Every output is the input translated by at most `padding` pixels."""
+        images = np.zeros((1, 1, 6, 6))
+        images[0, 0, 3, 3] = 1.0  # single hot pixel
+        out = RandomCrop(2)(images, rng)
+        ys, xs = np.nonzero(out[0, 0])
+        if len(ys):  # the pixel may be cropped out entirely
+            assert abs(int(ys[0]) - 3) <= 2
+            assert abs(int(xs[0]) - 3) <= 2
+
+    def test_invalid_padding(self):
+        with pytest.raises(ValueError):
+            RandomCrop(0)
+
+
+class TestNoiseAndNormalize:
+    def test_noise_changes_values(self, rng):
+        images = images_of(rng=rng)
+        out = GaussianNoise(0.5)(images, rng)
+        assert not np.allclose(out, images)
+
+    def test_zero_noise_identity(self, rng):
+        images = images_of(rng=rng)
+        assert GaussianNoise(0.0)(images, rng) is images
+
+    def test_normalize(self, rng):
+        images = images_of(channels=2, rng=rng)
+        out = Normalize(mean=[1.0, -1.0], std=[2.0, 4.0])(images, rng)
+        np.testing.assert_allclose(out[:, 0], (images[:, 0] - 1.0) / 2.0)
+        np.testing.assert_allclose(out[:, 1], (images[:, 1] + 1.0) / 4.0)
+
+    def test_zero_std_rejected(self):
+        with pytest.raises(ValueError):
+            Normalize([0.0], [0.0])
+
+
+class TestCompose:
+    def test_order(self, rng):
+        images = images_of(channels=1, rng=rng)
+        pipeline = Compose([Normalize([0.0], [2.0]), Normalize([0.0], [2.0])])
+        out = pipeline(images, rng)
+        np.testing.assert_allclose(out, images / 4.0)
+
+
+class TestAugmentedDataset:
+    def make(self, rng):
+        base = ArrayDataset(images_of(count=12, rng=rng), np.arange(12) % 3)
+        return base, AugmentedDataset(base, RandomHorizontalFlip(0.5), seed=7)
+
+    def test_len_and_labels_passthrough(self, rng):
+        base, augmented = self.make(rng)
+        assert len(augmented) == len(base)
+        np.testing.assert_array_equal(augmented.labels, base.labels)
+
+    def test_batch_applies_transform(self, rng):
+        base, _ = self.make(rng)
+        augmented = AugmentedDataset(base, RandomHorizontalFlip(1.0), seed=7)
+        images, _ = augmented.batch([0, 1])
+        np.testing.assert_array_equal(images, base.images[[0, 1]][:, :, :, ::-1])
+
+    def test_augmentation_varies_across_accesses(self, rng):
+        base, _ = self.make(rng)
+        augmented = AugmentedDataset(base, GaussianNoise(0.5), seed=7)
+        first, _ = augmented.batch([0])
+        second, _ = augmented.batch([0])
+        assert not np.allclose(first, second)
+
+    def test_works_with_dataloader(self, rng):
+        _, augmented = self.make(rng)
+        loader = DataLoader(augmented, batch_size=4, seed=0)
+        batches = list(loader)
+        assert sum(len(labels) for _, labels in batches) == 12

@@ -1,0 +1,72 @@
+"""CLI subcommands and the ablation drivers (smoke scale)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.ablations import (
+    ablate_aggregation,
+    ablate_mask_distance_gate,
+    ablate_pruning_step,
+)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.dataset == "mnist"
+        assert args.algorithm == "sub-fedavg-un"
+        assert args.preset == "smoke"
+
+    def test_invalid_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--dataset", "svhn"])
+
+    def test_invalid_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--algorithm", "bogus"])
+
+
+class TestCommands:
+    def test_table2_command(self, capsys):
+        assert main(["table2", "--dataset", "cifar10"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "sub-fedavg-hy" in out
+
+    def test_run_command_with_save(self, capsys, tmp_path):
+        save_path = tmp_path / "history.json"
+        code = main(
+            ["run", "--dataset", "mnist", "--algorithm", "fedavg",
+             "--preset", "smoke", "--save", str(save_path)]
+        )
+        assert code == 0
+        assert save_path.exists()
+        out = capsys.readouterr().out
+        assert "final personalized accuracy" in out
+
+        from repro.utils import load_history
+
+        history = load_history(save_path)
+        assert history.algorithm == "fedavg"
+
+
+class TestAblations:
+    def test_aggregation_ablation_shapes(self):
+        results = ablate_aggregation("mnist", preset="smoke", seed=0)
+        assert [result.variant for result in results] == ["intersection", "zerofill"]
+        assert all(0.0 <= result.accuracy <= 1.0 for result in results)
+        assert all(result.sparsity > 0.0 for result in results)
+
+    def test_gate_ablation_shapes(self):
+        results = ablate_mask_distance_gate("mnist", preset="smoke", seed=0)
+        assert len(results) == 2
+        gated, ungated = results
+        assert ungated.sparsity >= gated.sparsity - 1e-9
+
+    def test_step_ablation_monotone_sparsity(self):
+        results = ablate_pruning_step("mnist", steps=(0.1, 0.5), preset="smoke", seed=0)
+        assert results[-1].sparsity >= results[0].sparsity - 1e-9

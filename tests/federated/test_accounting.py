@@ -1,0 +1,84 @@
+"""Communication-cost model and FLOP accounting."""
+
+import numpy as np
+import pytest
+
+from repro.federated.accounting import (
+    FLOAT_BITS,
+    closed_form_cost,
+    dense_conv_flops,
+    dense_exchange,
+    flop_reduction_factor,
+    partial_exchange,
+    pruned_conv_flops,
+    sparse_exchange,
+)
+from repro.models import LeNet5
+from repro.pruning import ChannelMask
+
+
+class TestCommunicationModel:
+    def test_dense_exchange_symmetric(self):
+        traffic = dense_exchange(num_params=1000, num_clients=10)
+        assert traffic.uploaded_bytes == traffic.downloaded_bytes == 10 * 1000 * 4
+
+    def test_closed_form_matches_meter(self):
+        """Paper formula R*B*|W|*2 must equal accrued dense traffic."""
+        rounds, params, clients = 7, 500, 4
+        accrued = sum(
+            dense_exchange(params, clients).total for _ in range(rounds)
+        )
+        assert accrued == closed_form_cost(rounds, params, clients)
+
+    def test_paper_cifar10_fedavg_cost(self):
+        """Table 1 CIFAR-10 FedAvg: 500 rounds x 10 clients x 62k params ~ 2.48 GB."""
+        total = closed_form_cost(rounds=500, params_per_round=62000, clients_per_round=10)
+        assert total == pytest.approx(2.48e9, rel=0.01)
+
+    def test_sparse_exchange_cheaper_than_dense(self):
+        dense = dense_exchange(10000, 1).total
+        sparse = sparse_exchange(
+            kept_params=5000, total_mask_bits=10000, num_params_down=5000
+        ).total
+        assert sparse < dense
+
+    def test_sparse_exchange_bit_math(self):
+        traffic = sparse_exchange(kept_params=100, total_mask_bits=800, num_params_down=50)
+        assert traffic.uploaded_bytes == (100 * 32 + 800) / 8
+        assert traffic.downloaded_bytes == 50 * 4
+
+    def test_mask_overhead_counted(self):
+        """A fully dense sub-fedavg exchange costs MORE than FedAvg (mask bits)."""
+        dense = dense_exchange(1000, 1).total
+        sparse = sparse_exchange(1000, 1000, 1000).total
+        assert sparse > dense
+
+    def test_partial_exchange(self):
+        traffic = partial_exchange(250, 4)
+        assert traffic.total == 2 * 4 * 250 * FLOAT_BITS / 8
+
+
+class TestFlops:
+    def test_dense_flops_positive(self, rng):
+        assert dense_conv_flops(LeNet5(rng=rng), 32) > 0
+
+    def test_pruned_less_than_dense(self, rng):
+        model = LeNet5(rng=rng)
+        channels = ChannelMask(
+            {"bn1": np.array([True] * 3 + [False] * 3), "bn2": np.ones(16, bool)}
+        )
+        assert pruned_conv_flops(model, channels, 32) < dense_conv_flops(model, 32)
+
+    def test_reduction_factor_none_is_one(self, rng):
+        assert flop_reduction_factor(LeNet5(rng=rng), None, 32) == 1.0
+
+    def test_reduction_factor_paper_range(self, rng):
+        model = LeNet5(rng=rng)
+        channels = ChannelMask(
+            {
+                "bn1": np.array([True] * 3 + [False] * 3),
+                "bn2": np.array([True] * 8 + [False] * 8),
+            }
+        )
+        factor = flop_reduction_factor(model, channels, 32)
+        assert 2.0 < factor < 3.0  # the paper reports 2.4x

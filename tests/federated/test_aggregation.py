@@ -1,0 +1,140 @@
+"""Aggregation rules: FedAvg mean and the Sub-FedAvg intersection average."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.federated import fedavg_average, intersection_average, partial_average
+from repro.pruning import MaskSet
+
+
+def states_of(*vectors):
+    return [{"w": np.asarray(vector, dtype=np.float64)} for vector in vectors]
+
+
+class TestFedAvgAverage:
+    def test_uniform_mean(self):
+        out = fedavg_average(states_of([1.0, 2.0], [3.0, 4.0]))
+        np.testing.assert_allclose(out["w"], [2.0, 3.0])
+
+    def test_weighted_mean(self):
+        out = fedavg_average(states_of([0.0], [10.0]), weights=[3, 1])
+        np.testing.assert_allclose(out["w"], [2.5])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            fedavg_average([])
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(ValueError):
+            fedavg_average(states_of([1.0]), weights=[1, 2])
+
+    def test_nonpositive_weights_raise(self):
+        with pytest.raises(ValueError):
+            fedavg_average(states_of([1.0], [2.0]), weights=[0, 0])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(-10, 10), min_size=1, max_size=5))
+    def test_property_average_of_identical_is_identity(self, values):
+        state = {"w": np.asarray(values)}
+        out = fedavg_average([state, state, state])
+        np.testing.assert_allclose(out["w"], state["w"], atol=1e-12)
+
+
+class TestIntersectionAverage:
+    def test_full_masks_equal_plain_mean(self):
+        states = states_of([2.0, 4.0], [6.0, 8.0])
+        masks = [MaskSet({"w": np.ones(2)}), MaskSet({"w": np.ones(2)})]
+        previous = {"w": np.zeros(2)}
+        out = intersection_average(states, masks, previous)
+        np.testing.assert_allclose(out["w"], [4.0, 6.0])
+
+    def test_coordinate_kept_by_one_passes_through(self):
+        states = states_of([5.0, 1.0], [9.0, 3.0])
+        masks = [
+            MaskSet({"w": np.array([1, 1])}),
+            MaskSet({"w": np.array([0, 1])}),
+        ]
+        previous = {"w": np.zeros(2)}
+        out = intersection_average(states, masks, previous)
+        np.testing.assert_allclose(out["w"], [5.0, 2.0])
+
+    def test_unkept_coordinate_retains_global(self):
+        states = states_of([5.0], [9.0])
+        masks = [MaskSet({"w": np.array([0])}), MaskSet({"w": np.array([0])})]
+        previous = {"w": np.array([42.0])}
+        out = intersection_average(states, masks, previous)
+        np.testing.assert_allclose(out["w"], [42.0])
+
+    def test_none_mask_treated_dense(self):
+        states = states_of([2.0], [4.0])
+        out = intersection_average(states, [None, None], {"w": np.zeros(1)})
+        np.testing.assert_allclose(out["w"], [3.0])
+
+    def test_uncovered_tensor_plain_averaged(self):
+        states = [
+            {"w": np.array([2.0]), "b": np.array([1.0])},
+            {"w": np.array([4.0]), "b": np.array([3.0])},
+        ]
+        masks = [MaskSet({"w": np.array([1])}), MaskSet({"w": np.array([1])})]
+        previous = {"w": np.zeros(1), "b": np.zeros(1)}
+        out = intersection_average(states, masks, previous)
+        np.testing.assert_allclose(out["b"], [2.0])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            intersection_average(states_of([1.0]), [], {"w": np.zeros(1)})
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            intersection_average([], [], {"w": np.zeros(1)})
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        values=st.lists(
+            st.tuples(st.floats(-5, 5), st.integers(0, 1), st.floats(-5, 5), st.integers(0, 1)),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_property_matches_manual_computation(self, values):
+        v1 = np.array([row[0] for row in values])
+        m1 = np.array([row[1] for row in values], dtype=float)
+        v2 = np.array([row[2] for row in values])
+        m2 = np.array([row[3] for row in values], dtype=float)
+        previous = {"w": np.full(len(values), 7.0)}
+        out = intersection_average(
+            [{"w": v1}, {"w": v2}],
+            [MaskSet({"w": m1}), MaskSet({"w": m2})],
+            previous,
+        )
+        denominator = m1 + m2
+        expected = np.where(
+            denominator > 0,
+            (v1 * m1 + v2 * m2) / np.where(denominator > 0, denominator, 1),
+            7.0,
+        )
+        np.testing.assert_allclose(out["w"], expected, atol=1e-12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(-5, 5), min_size=1, max_size=6))
+    def test_property_reduces_to_fedavg_with_dense_masks(self, values):
+        state1 = {"w": np.asarray(values)}
+        state2 = {"w": np.asarray(values[::-1])}
+        dense = MaskSet({"w": np.ones(len(values))})
+        previous = {"w": np.zeros(len(values))}
+        a = intersection_average([state1, state2], [dense, dense], previous)
+        b = fedavg_average([state1, state2])
+        np.testing.assert_allclose(a["w"], b["w"], atol=1e-12)
+
+
+class TestPartialAverage:
+    def test_only_named_tensors_averaged(self):
+        states = [
+            {"shared": np.array([2.0]), "personal": np.array([1.0])},
+            {"shared": np.array([4.0]), "personal": np.array([9.0])},
+        ]
+        previous = {"shared": np.zeros(1), "personal": np.array([-1.0])}
+        out = partial_average(states, ["shared"], previous)
+        np.testing.assert_allclose(out["shared"], [3.0])
+        np.testing.assert_allclose(out["personal"], [-1.0])

@@ -1,0 +1,117 @@
+"""Checkpoint/resume for long runs."""
+
+import numpy as np
+import pytest
+
+from repro.federated import (
+    FedAvg,
+    FederationConfig,
+    LocalTrainConfig,
+    load_checkpoint,
+    make_clients,
+    run_with_checkpoints,
+    save_checkpoint,
+)
+from repro.federated.builder import build_trainer, model_factory
+from repro.pruning import UnstructuredConfig
+
+
+def make_config(algorithm="sub-fedavg-un", rounds=4):
+    return FederationConfig(
+        dataset="mnist", algorithm=algorithm, num_clients=3,
+        rounds=rounds, sample_fraction=1.0, n_train=120, n_test=60, seed=0,
+        local=LocalTrainConfig(epochs=1, batch_size=10),
+        unstructured=UnstructuredConfig(
+            target_rate=0.5, step=0.25, epsilon=0.0, acc_threshold=0.0
+        ) if algorithm.startswith("sub-fedavg") else None,
+    )
+
+
+def make_trainer(config):
+    return build_trainer(config, make_clients(config))
+
+
+class TestSaveLoad:
+    def test_roundtrip_restores_global_state(self, tmp_path):
+        config = make_config()
+        trainer = make_trainer(config)
+        trainer._round(1, trainer.sampler.sample())
+        path = tmp_path / "ckpt.pkl"
+        save_checkpoint(path, trainer, completed_rounds=1)
+
+        fresh = make_trainer(make_config())
+        completed = load_checkpoint(path, fresh)
+        assert completed == 1
+        for name, value in trainer.global_state.items():
+            np.testing.assert_array_equal(fresh.global_state[name], value)
+
+    def test_restores_masks_and_rates(self, tmp_path):
+        config = make_config()
+        trainer = make_trainer(config)
+        trainer._round(1, trainer.sampler.sample())
+        path = tmp_path / "ckpt.pkl"
+        save_checkpoint(path, trainer, 1)
+
+        fresh = make_trainer(make_config())
+        load_checkpoint(path, fresh)
+        for old, new in zip(trainer.clients, fresh.clients):
+            assert new.controller.un_rate == old.controller.un_rate
+            assert new.controller.un_mask == old.controller.un_mask
+
+    def test_algorithm_mismatch_rejected(self, tmp_path):
+        trainer = make_trainer(make_config())
+        path = tmp_path / "ckpt.pkl"
+        save_checkpoint(path, trainer, 1)
+        other = make_trainer(make_config(algorithm="fedavg"))
+        with pytest.raises(ValueError, match="checkpoint is for"):
+            load_checkpoint(path, other)
+
+    def test_client_mismatch_rejected(self, tmp_path):
+        trainer = make_trainer(make_config())
+        path = tmp_path / "ckpt.pkl"
+        save_checkpoint(path, trainer, 1)
+        config = FederationConfig(
+            dataset="mnist", algorithm="sub-fedavg-un", num_clients=5,
+            n_train=200, n_test=60, seed=0,
+            local=LocalTrainConfig(epochs=1),
+            unstructured=UnstructuredConfig(),
+        )
+        other = make_trainer(config)
+        with pytest.raises(ValueError, match="client ids"):
+            load_checkpoint(path, other)
+
+
+class TestRunWithCheckpoints:
+    def test_completes_and_checkpoints(self, tmp_path):
+        trainer = make_trainer(make_config(rounds=4))
+        path = tmp_path / "ckpt.pkl"
+        history = run_with_checkpoints(trainer, path, every=2)
+        assert len(history.rounds) == 4
+        assert history.final_accuracy is not None
+        assert path.exists()
+
+    def test_resume_skips_completed_rounds(self, tmp_path):
+        path = tmp_path / "ckpt.pkl"
+        # Run the first half and checkpoint.
+        first = make_trainer(make_config(rounds=2))
+        run_with_checkpoints(first, path, every=1)
+
+        # Resume into a 4-round trainer: only rounds 3-4 should execute.
+        resumed = make_trainer(make_config(rounds=4))
+        history = run_with_checkpoints(resumed, path, every=1, resume=True)
+        assert len(history.rounds) == 4
+        assert history.rounds[0].round_index == 1  # restored from checkpoint
+        assert history.rounds[-1].round_index == 4
+
+    def test_no_resume_starts_fresh(self, tmp_path):
+        path = tmp_path / "ckpt.pkl"
+        first = make_trainer(make_config(rounds=2))
+        run_with_checkpoints(first, path, every=1)
+        fresh = make_trainer(make_config(rounds=2))
+        history = run_with_checkpoints(fresh, path, every=1, resume=False)
+        assert len(history.rounds) == 2
+
+    def test_invalid_every(self, tmp_path):
+        trainer = make_trainer(make_config())
+        with pytest.raises(ValueError):
+            run_with_checkpoints(trainer, tmp_path / "x.pkl", every=0)

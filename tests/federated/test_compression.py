@@ -1,0 +1,158 @@
+"""Update-compression codecs and the compressed FedAvg trainer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.federated import (
+    FedAvgCompressed,
+    FederationConfig,
+    IdentityCompressor,
+    LocalTrainConfig,
+    QuantizationCompressor,
+    RandomMaskCompressor,
+    TopKCompressor,
+    make_clients,
+)
+from repro.federated.accounting import FLOAT_BITS
+from repro.federated.builder import model_factory
+
+
+def sample_update(rng, sizes=((10, 4), (7,))):
+    return {f"t{i}": rng.normal(size=shape) for i, shape in enumerate(sizes)}
+
+
+class TestIdentity:
+    def test_lossless(self, rng):
+        update = sample_update(rng)
+        decoded, bits = IdentityCompressor().encode(update)
+        for name in update:
+            np.testing.assert_array_equal(decoded[name], update[name])
+        assert bits == sum(v.size for v in update.values()) * FLOAT_BITS
+
+    def test_returns_copies(self, rng):
+        update = sample_update(rng)
+        decoded, _ = IdentityCompressor().encode(update)
+        decoded["t0"][0] = 999.0
+        assert update["t0"][0, 0] != 999.0 or True  # original untouched
+        assert not np.shares_memory(decoded["t0"], update["t0"])
+
+
+class TestTopK:
+    def test_keeps_largest(self, rng):
+        update = {"t": np.array([0.1, -5.0, 0.2, 3.0])}
+        decoded, _ = TopKCompressor(0.5).encode(update)
+        np.testing.assert_allclose(decoded["t"], [0.0, -5.0, 0.0, 3.0])
+
+    def test_bit_accounting(self):
+        update = {"t": np.arange(1.0, 101.0)}
+        _, bits = TopKCompressor(0.25).encode(update)
+        assert bits == 25 * FLOAT_BITS + 100
+
+    def test_fraction_one_is_lossless(self, rng):
+        update = sample_update(rng)
+        decoded, _ = TopKCompressor(1.0).encode(update)
+        for name in update:
+            np.testing.assert_allclose(decoded[name], update[name])
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            TopKCompressor(0.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(fraction=st.floats(min_value=0.05, max_value=1.0))
+    def test_property_sparsity_matches_fraction(self, fraction):
+        rng = np.random.default_rng(0)
+        update = {"t": rng.normal(size=400)}
+        decoded, _ = TopKCompressor(fraction).encode(update)
+        kept = int((decoded["t"] != 0).sum())
+        assert kept <= int(np.ceil(fraction * 400)) + 1
+
+
+class TestRandomMask:
+    def test_unbiased_in_expectation(self):
+        rng = np.random.default_rng(0)
+        update = {"t": np.ones(20000)}
+        decoded, _ = RandomMaskCompressor(0.25, seed=1).encode(update)
+        assert decoded["t"].mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_survivors_rescaled(self):
+        update = {"t": np.ones(1000)}
+        decoded, _ = RandomMaskCompressor(0.5, seed=0).encode(update)
+        survivors = decoded["t"][decoded["t"] != 0]
+        np.testing.assert_allclose(survivors, 2.0)
+
+
+class TestQuantization:
+    def test_roundtrip_error_bounded(self, rng):
+        update = sample_update(rng)
+        decoded, _ = QuantizationCompressor(bits=8).encode(update)
+        for name in update:
+            span = update[name].max() - update[name].min()
+            step = span / 255
+            assert np.abs(decoded[name] - update[name]).max() <= step / 2 + 1e-12
+
+    def test_more_bits_less_error(self, rng):
+        update = {"t": rng.normal(size=500)}
+        errors = {}
+        for bits in (2, 8):
+            decoded, _ = QuantizationCompressor(bits=bits).encode(update)
+            errors[bits] = np.abs(decoded["t"] - update["t"]).max()
+        assert errors[8] < errors[2]
+
+    def test_constant_tensor(self):
+        update = {"t": np.full(10, 3.0)}
+        decoded, _ = QuantizationCompressor(bits=4).encode(update)
+        np.testing.assert_array_equal(decoded["t"], update["t"])
+
+    def test_bit_accounting(self):
+        update = {"t": np.arange(10.0)}
+        _, bits = QuantizationCompressor(bits=8).encode(update)
+        assert bits == 10 * 8 + 2 * FLOAT_BITS
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            QuantizationCompressor(bits=0)
+        with pytest.raises(ValueError):
+            QuantizationCompressor(bits=64)
+
+
+class TestCompressedTrainer:
+    def make_trainer(self, compressor):
+        config = FederationConfig(
+            dataset="mnist", algorithm="fedavg", num_clients=4,
+            n_train=160, n_test=80, seed=0,
+            local=LocalTrainConfig(epochs=1, batch_size=10),
+        )
+        clients = make_clients(config)
+        return FedAvgCompressed(
+            clients=clients,
+            model_fn=model_factory(config),
+            rounds=2,
+            sample_fraction=0.5,
+            seed=0,
+            compressor=compressor,
+        )
+
+    def test_runs_with_each_codec(self):
+        for compressor in (
+            IdentityCompressor(),
+            TopKCompressor(0.2),
+            RandomMaskCompressor(0.2, seed=0),
+            QuantizationCompressor(bits=8),
+        ):
+            history = self.make_trainer(compressor).run()
+            assert 0.0 <= history.final_accuracy <= 1.0
+
+    def test_topk_uplink_cheaper_than_identity(self):
+        identity = self.make_trainer(IdentityCompressor()).run()
+        compressed = self.make_trainer(TopKCompressor(0.1)).run()
+        identity_up = sum(record.uploaded_bytes for record in identity.rounds)
+        compressed_up = sum(record.uploaded_bytes for record in compressed.rounds)
+        assert compressed_up < identity_up
+
+    def test_identity_matches_plain_fedavg_cost_up(self):
+        history = self.make_trainer(IdentityCompressor()).run()
+        trainer = self.make_trainer(IdentityCompressor())
+        expected_per_round = 2 * trainer.total_params * FLOAT_BITS / 8
+        assert history.rounds[0].uploaded_bytes == expected_per_round

@@ -1,0 +1,42 @@
+"""History/RoundRecord bookkeeping."""
+
+from repro.federated import History, RoundRecord
+
+
+def record(index, accuracy=None, up=10.0, down=5.0):
+    return RoundRecord(
+        round_index=index,
+        sampled_clients=[0, 1],
+        train_loss=1.0,
+        mean_accuracy=accuracy,
+        uploaded_bytes=up,
+        downloaded_bytes=down,
+    )
+
+
+class TestHistory:
+    def test_append_accumulates_traffic(self):
+        history = History(algorithm="x")
+        history.append(record(1))
+        history.append(record(2))
+        assert history.total_communication_bytes == 30.0
+        assert history.total_communication_gb == 30.0 / 1e9
+
+    def test_accuracy_curve_skips_unevaluated(self):
+        history = History(algorithm="x")
+        history.append(record(1, accuracy=0.5))
+        history.append(record(2))
+        history.append(record(3, accuracy=0.8))
+        assert history.accuracy_curve() == [(1, 0.5), (3, 0.8)]
+
+    def test_rounds_to_accuracy(self):
+        history = History(algorithm="x")
+        for i, accuracy in enumerate([0.3, 0.6, 0.9], start=1):
+            history.append(record(i, accuracy=accuracy))
+        assert history.rounds_to_accuracy(0.55) == 2
+        assert history.rounds_to_accuracy(0.95) is None
+
+    def test_empty_curve(self):
+        history = History(algorithm="x")
+        assert history.accuracy_curve() == []
+        assert history.rounds_to_accuracy(0.1) is None

@@ -1,0 +1,138 @@
+"""Wall-clock model: device pricing and time-to-accuracy."""
+
+import numpy as np
+import pytest
+
+from repro.federated import (
+    DeviceProfile,
+    EDGE_PHONE,
+    History,
+    RASPBERRY_PI,
+    RoundRecord,
+    WORKSTATION,
+    WallClockModel,
+    compare_time_to_accuracy,
+    time_to_accuracy,
+)
+
+
+def record(index, accuracy=None, up=1e6, down=1e6, clients=(0, 1)):
+    return RoundRecord(
+        round_index=index,
+        sampled_clients=list(clients),
+        train_loss=1.0,
+        mean_accuracy=accuracy,
+        uploaded_bytes=up,
+        downloaded_bytes=down,
+    )
+
+
+def make_model(profiles=(EDGE_PHONE,), overhead=0.0):
+    return WallClockModel(
+        profiles=profiles,
+        flops_per_example=1e6,
+        examples_per_round=100,
+        server_overhead_seconds=overhead,
+    )
+
+
+class TestDeviceProfile:
+    def test_defaults_match_paper_uplink(self):
+        assert EDGE_PHONE.upload_bytes_per_second == 1e6  # §4.2.2: ~1 MB/s
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceProfile(flops_per_second=0)
+        with pytest.raises(ValueError):
+            DeviceProfile(upload_bytes_per_second=-1)
+
+    def test_builtin_profiles_ordered_by_speed(self):
+        assert (
+            RASPBERRY_PI.flops_per_second
+            < EDGE_PHONE.flops_per_second
+            < WORKSTATION.flops_per_second
+        )
+
+
+class TestWallClockModel:
+    def test_client_round_seconds_decomposition(self):
+        model = make_model()
+        seconds = model.client_round_seconds(0, upload_bytes=1e6, download_bytes=8e6)
+        compute = 3 * 1e6 * 100 / 1e9  # 0.3 s
+        up = 1.0  # 1 MB at 1 MB/s
+        down = 1.0  # 8 MB at 8 MB/s
+        assert seconds == pytest.approx(compute + up + down)
+
+    def test_round_robin_profile_assignment(self):
+        model = make_model(profiles=(EDGE_PHONE, WORKSTATION))
+        assert model.profile_for(0) is EDGE_PHONE
+        assert model.profile_for(1) is WORKSTATION
+        assert model.profile_for(2) is EDGE_PHONE
+
+    def test_round_priced_by_slowest_client(self):
+        model = make_model(profiles=(WORKSTATION, RASPBERRY_PI))
+        fast_only = record(1, clients=[0])
+        mixed = record(1, clients=[0, 1])
+        assert model.round_seconds(mixed) > model.round_seconds(fast_only)
+
+    def test_overhead_added(self):
+        with_overhead = make_model(overhead=2.0)
+        without = make_model(overhead=0.0)
+        assert with_overhead.round_seconds(record(1)) == pytest.approx(
+            without.round_seconds(record(1)) + 2.0
+        )
+
+    def test_total_seconds_accumulates(self):
+        model = make_model()
+        history = History(algorithm="x")
+        history.append(record(1))
+        history.append(record(2))
+        assert model.total_seconds(history) == pytest.approx(
+            2 * model.round_seconds(record(1))
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WallClockModel([], flops_per_example=1, examples_per_round=1)
+        with pytest.raises(ValueError):
+            WallClockModel([EDGE_PHONE], flops_per_example=0, examples_per_round=1)
+
+
+class TestTimeToAccuracy:
+    def make_history(self, accuracies):
+        history = History(algorithm="x")
+        for i, accuracy in enumerate(accuracies, start=1):
+            history.append(record(i, accuracy=accuracy))
+        return history
+
+    def test_reaches_target(self):
+        model = make_model()
+        history = self.make_history([0.3, 0.6, 0.9])
+        seconds = time_to_accuracy(history, model, target=0.55)
+        assert seconds == pytest.approx(2 * model.round_seconds(record(1)))
+
+    def test_never_reaches(self):
+        model = make_model()
+        history = self.make_history([0.3, 0.4])
+        assert time_to_accuracy(history, model, target=0.99) is None
+
+    def test_compare_table(self):
+        model = make_model()
+        table = compare_time_to_accuracy(
+            {
+                "fast": self.make_history([0.9]),
+                "slow": self.make_history([0.1, 0.9]),
+                "never": self.make_history([0.1]),
+            },
+            model,
+            target=0.8,
+        )
+        assert table["fast"] < table["slow"]
+        assert table["never"] is None
+
+    def test_cheaper_uplink_means_faster_rounds(self):
+        """Sub-FedAvg's smaller exchanges translate to wall-clock wins."""
+        model = make_model()
+        dense = record(1, up=4e6, down=4e6)
+        sparse = record(1, up=2e6, down=2e6)
+        assert model.round_seconds(sparse) < model.round_seconds(dense)

@@ -1,0 +1,91 @@
+"""VGGLite: shapes, metadata, pruning and compaction on a deeper net."""
+
+import numpy as np
+import pytest
+
+from repro.models import VGGLite
+from repro.pruning import (
+    ChannelMask,
+    bn_scale_channel_mask,
+    compact_model,
+    expand_channel_mask,
+    reduction_report,
+)
+from repro.tensor import Tensor
+
+
+class TestForward:
+    def test_cifar_shape(self, rng):
+        model = VGGLite(num_classes=10, in_channels=3, input_size=32, rng=rng)
+        out = model(Tensor(rng.normal(size=(2, 3, 32, 32))))
+        assert out.shape == (2, 10)
+
+    def test_mnist_shape(self, rng):
+        model = VGGLite(num_classes=10, in_channels=1, input_size=28, rng=rng)
+        out = model(Tensor(rng.normal(size=(2, 1, 28, 28))))
+        assert out.shape == (2, 10)
+
+    def test_custom_widths(self, rng):
+        model = VGGLite(widths=(8, 8, 8), input_size=32, rng=rng)
+        assert model.total_channels() == 24
+
+    def test_wrong_width_count_rejected(self, rng):
+        with pytest.raises(ValueError):
+            VGGLite(widths=(8, 8), rng=rng)
+
+
+class TestPruningWiring:
+    def test_three_chained_units(self, rng):
+        model = VGGLite(rng=rng)
+        assert [unit.conv for unit in model.conv_units] == ["conv1", "conv2", "conv3"]
+        assert model.conv_units[0].next_conv == "conv2"
+        assert model.conv_units[-1].next_conv is None
+        assert model.conv_units[-1].spatial == 4  # 32 -> 16 -> 8 -> 4
+
+    def test_expand_channel_mask_chains(self, rng):
+        model = VGGLite(rng=rng)
+        channels = ChannelMask.dense_for(model)
+        channels["bn2"][0] = False
+        masks = expand_channel_mask(model, channels)
+        assert (masks["conv2.weight"][0] == 0).all()
+        assert (masks["conv3.weight"][:, 0] == 0).all()
+
+    def test_bn_scale_mask_covers_all_stages(self, rng):
+        model = VGGLite(rng=rng)
+        mask = bn_scale_channel_mask(model, rate=0.3)
+        assert set(iter(mask)) == {"bn1", "bn2", "bn3"}
+
+    def test_compaction_equivalence(self, rng):
+        model = VGGLite(in_channels=1, input_size=28, rng=rng)
+        x = rng.normal(size=(3, 1, 28, 28))
+        model.train()
+        model(Tensor(x))
+        model.eval()
+        channels = ChannelMask.dense_for(model)
+        channels["bn1"][:4] = False
+        channels["bn3"][10:] = False
+        compacted = compact_model(model, channels)
+        compacted.eval()
+        expand_channel_mask(model, channels).apply_to_model(model)
+        np.testing.assert_allclose(
+            compacted(Tensor(x)).data, model(Tensor(x)).data, atol=1e-9
+        )
+
+
+class TestDepthClaim:
+    """§3.5: structured pruning pays more on deeper networks."""
+
+    def test_flop_reduction_compounds_with_depth(self, rng):
+        from repro.models import LeNet5
+
+        def half_channel_factor(model, side):
+            channels = ChannelMask.dense_for(model)
+            for bn_name, count in model.channel_census():
+                keep = np.ones(count, dtype=bool)
+                keep[count // 2 :] = False
+                channels[bn_name] = keep
+            return reduction_report(model, channels, side).flop_reduction
+
+        shallow = half_channel_factor(LeNet5(rng=rng), 32)
+        deep = half_channel_factor(VGGLite(rng=rng), 32)
+        assert deep > shallow

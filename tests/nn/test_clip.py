@@ -1,0 +1,61 @@
+"""Gradient clipping utilities."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import clip_grad_norm, clip_grad_value, grad_norm
+
+
+def param_with_grad(grad):
+    param = Parameter(np.zeros_like(np.asarray(grad, dtype=np.float64)))
+    param.grad = np.asarray(grad, dtype=np.float64)
+    return param
+
+
+class TestGradNorm:
+    def test_joint_norm(self):
+        params = [param_with_grad([3.0]), param_with_grad([4.0])]
+        assert grad_norm(params) == pytest.approx(5.0)
+
+    def test_skips_missing_grads(self):
+        with_grad = param_with_grad([2.0])
+        without = Parameter(np.zeros(1))
+        assert grad_norm([with_grad, without]) == pytest.approx(2.0)
+
+    def test_accepts_named_tuples(self):
+        params = [("a", param_with_grad([1.0]))]
+        assert grad_norm(params) == pytest.approx(1.0)
+
+
+class TestClipGradNorm:
+    def test_scales_down_when_over(self):
+        params = [param_with_grad([3.0]), param_with_grad([4.0])]
+        returned = clip_grad_norm(params, max_norm=1.0)
+        assert returned == pytest.approx(5.0)
+        assert grad_norm(params) == pytest.approx(1.0)
+
+    def test_no_change_when_under(self):
+        params = [param_with_grad([0.3])]
+        clip_grad_norm(params, max_norm=1.0)
+        np.testing.assert_allclose(params[0].grad, [0.3])
+
+    def test_direction_preserved(self):
+        params = [param_with_grad([6.0, -8.0])]
+        clip_grad_norm(params, max_norm=5.0)
+        np.testing.assert_allclose(params[0].grad, [3.0, -4.0])
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([param_with_grad([1.0])], max_norm=0.0)
+
+
+class TestClipGradValue:
+    def test_clamps_in_place(self):
+        param = param_with_grad([-5.0, 0.5, 7.0])
+        clip_grad_value([param], max_value=1.0)
+        np.testing.assert_allclose(param.grad, [-1.0, 0.5, 1.0])
+
+    def test_invalid_max_value(self):
+        with pytest.raises(ValueError):
+            clip_grad_value([param_with_grad([1.0])], max_value=-1.0)

@@ -1,0 +1,122 @@
+"""Module container semantics: registration, state dicts, modes."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Module, Parameter
+
+
+class Leaf(Module):
+    def __init__(self):
+        super().__init__()
+        self.weight = Parameter(np.ones((2, 2)))
+        self.register_buffer("stat", np.zeros(2))
+
+    def forward(self, x):
+        return x @ self.weight.transpose()
+
+
+class Parent(Module):
+    def __init__(self):
+        super().__init__()
+        self.child = Leaf()
+        self.other = Leaf()
+
+
+class TestRegistration:
+    def test_parameters_discovered_recursively(self):
+        names = [name for name, _ in Parent().named_parameters()]
+        assert names == ["child.weight", "other.weight"]
+
+    def test_buffers_discovered(self):
+        names = [name for name, _ in Parent().named_buffers()]
+        assert names == ["child.stat", "other.stat"]
+
+    def test_named_modules(self):
+        names = [name for name, _ in Parent().named_modules()]
+        assert names == ["", "child", "other"]
+
+    def test_num_parameters(self):
+        assert Parent().num_parameters() == 8
+
+    def test_non_parameter_attrs_not_registered(self):
+        module = Leaf()
+        module.some_config = 42
+        assert "some_config" not in dict(module.named_parameters())
+
+
+class TestModes:
+    def test_train_eval_propagate(self):
+        parent = Parent()
+        parent.eval()
+        assert not parent.child.training
+        parent.train()
+        assert parent.other.training
+
+    def test_zero_grad_clears_all(self):
+        parent = Parent()
+        for param in parent.parameters():
+            param.grad = np.ones_like(param.data)
+        parent.zero_grad()
+        assert all(param.grad is None for param in parent.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        source, target = Parent(), Parent()
+        for param in source.parameters():
+            param.data[...] = rng.normal(size=param.shape)
+        target.load_state_dict(source.state_dict())
+        for (_, a), (_, b) in zip(source.named_parameters(), target.named_parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_state_dict_is_a_copy(self):
+        module = Leaf()
+        state = module.state_dict()
+        state["weight"][...] = 99.0
+        assert module.weight.data[0, 0] == 1.0
+
+    def test_buffers_in_state_dict(self):
+        state = Leaf().state_dict()
+        assert "stat" in state
+
+    def test_load_strict_missing_raises(self):
+        module = Leaf()
+        state = module.state_dict()
+        del state["weight"]
+        with pytest.raises(KeyError, match="missing"):
+            module.load_state_dict(state)
+
+    def test_load_strict_unexpected_raises(self):
+        module = Leaf()
+        state = module.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError, match="unexpected"):
+            module.load_state_dict(state)
+
+    def test_load_non_strict_ignores_mismatch(self):
+        module = Leaf()
+        state = module.state_dict()
+        state["bogus"] = np.zeros(1)
+        module.load_state_dict(state, strict=False)
+
+    def test_load_shape_mismatch_raises(self):
+        module = Leaf()
+        state = module.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError, match="shape"):
+            module.load_state_dict(state)
+
+    def test_buffer_load_preserves_identity(self):
+        """Loading must update the same array BN ops mutate in place."""
+        module = Leaf()
+        buffer_before = module.stat
+        state = module.state_dict()
+        state["stat"] = np.array([5.0, 6.0])
+        module.load_state_dict(state)
+        assert module.stat is buffer_before
+        np.testing.assert_array_equal(module.stat, [5.0, 6.0])
+
+    def test_repr_contains_children(self):
+        assert "child" in repr(Parent())

@@ -1,0 +1,178 @@
+"""Optimizer semantics: update math, momentum, masking, schedules."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, CosineAnnealingLR, StepLR
+
+
+def make_param(value):
+    param = Parameter(np.array(value, dtype=np.float64))
+    param.grad = np.ones_like(param.data)
+    return param
+
+
+class TestSGD:
+    def test_vanilla_step(self):
+        param = make_param([1.0, 2.0])
+        SGD([("p", param)], lr=0.1).step()
+        np.testing.assert_allclose(param.data, [0.9, 1.9])
+
+    def test_momentum_accumulates(self):
+        param = make_param([0.0])
+        optimizer = SGD([("p", param)], lr=1.0, momentum=0.5)
+        optimizer.step()  # v=1, p=-1
+        param.grad = np.ones(1)
+        optimizer.step()  # v=1.5, p=-2.5
+        np.testing.assert_allclose(param.data, [-2.5])
+
+    def test_weight_decay(self):
+        param = make_param([2.0])
+        param.grad = np.zeros(1)
+        SGD([("p", param)], lr=0.1, weight_decay=0.5).step()
+        np.testing.assert_allclose(param.data, [2.0 - 0.1 * 0.5 * 2.0])
+
+    def test_skips_parameters_without_grad(self):
+        param = Parameter(np.array([1.0]))
+        SGD([("p", param)], lr=0.1).step()
+        np.testing.assert_allclose(param.data, [1.0])
+
+    def test_masked_coordinates_frozen(self):
+        param = make_param([1.0, 1.0])
+        param.data[1] = 0.0
+        optimizer = SGD([("p", param)], lr=0.1, momentum=0.9)
+        optimizer.set_masks({"p": np.array([1.0, 0.0])})
+        for _ in range(3):
+            param.grad = np.ones(2)
+            optimizer.step()
+        assert param.data[1] == 0.0
+        assert param.data[0] < 1.0
+
+    def test_set_masks_zeroes_existing_velocity(self):
+        param = make_param([1.0, 1.0])
+        optimizer = SGD([("p", param)], lr=0.1, momentum=0.9)
+        optimizer.step()
+        optimizer.set_masks({"p": np.array([1.0, 0.0])})
+        assert optimizer._velocity["p"][1] == 0.0
+
+    def test_mask_clearing(self):
+        param = make_param([1.0])
+        optimizer = SGD([("p", param)], lr=0.1)
+        optimizer.set_masks({"p": np.array([0.0])})
+        optimizer.set_masks(None)
+        param.grad = np.ones(1)
+        optimizer.step()
+        assert param.data[0] != 1.0
+
+    def test_zero_grad(self):
+        param = make_param([1.0])
+        optimizer = SGD([("p", param)], lr=0.1)
+        optimizer.zero_grad()
+        assert param.grad is None
+
+    def test_accepts_bare_parameters(self):
+        param = make_param([1.0])
+        SGD([param], lr=0.1).step()
+
+    def test_state_dict_roundtrip(self):
+        param = make_param([1.0])
+        optimizer = SGD([("p", param)], lr=0.1, momentum=0.9)
+        optimizer.step()
+        snapshot = optimizer.state_dict()
+        optimizer2 = SGD([("p", param)], lr=0.1, momentum=0.9)
+        optimizer2.load_state_dict(snapshot)
+        np.testing.assert_allclose(optimizer2._velocity["p"], snapshot["p"])
+
+    def test_invalid_hyperparams_raise(self):
+        param = make_param([1.0])
+        with pytest.raises(ValueError):
+            SGD([param], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([param], lr=0.1, momentum=-1.0)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_rejects_non_parameter(self):
+        with pytest.raises(TypeError):
+            SGD([np.zeros(3)], lr=0.1)
+
+
+class TestAdam:
+    def test_first_step_size(self):
+        param = make_param([0.0])
+        Adam([("p", param)], lr=0.001).step()
+        np.testing.assert_allclose(param.data, [-0.001], atol=1e-6)
+
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.array([5.0]))
+        optimizer = Adam([("p", param)], lr=0.3)
+        for _ in range(200):
+            param.grad = 2 * param.data  # d/dx x^2
+            optimizer.step()
+        assert abs(param.data[0]) < 1e-2
+
+    def test_respects_mask(self):
+        param = make_param([1.0, 1.0])
+        param.data[1] = 0.0
+        optimizer = Adam([("p", param)], lr=0.1)
+        optimizer.set_masks({"p": np.array([1.0, 0.0])})
+        param.grad = np.ones(2)
+        optimizer.step()
+        assert param.data[1] == 0.0
+
+
+class TestSchedulers:
+    def test_step_lr(self):
+        param = make_param([1.0])
+        optimizer = SGD([param], lr=1.0)
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.1)
+        scheduler.step()
+        assert optimizer.lr == 1.0
+        scheduler.step()
+        np.testing.assert_allclose(optimizer.lr, 0.1)
+
+    def test_cosine_endpoints(self):
+        param = make_param([1.0])
+        optimizer = SGD([param], lr=1.0)
+        scheduler = CosineAnnealingLR(optimizer, t_max=10, eta_min=0.0)
+        for _ in range(10):
+            scheduler.step()
+        np.testing.assert_allclose(optimizer.lr, 0.0, atol=1e-12)
+
+    def test_cosine_monotone_decreasing(self):
+        param = make_param([1.0])
+        optimizer = SGD([param], lr=1.0)
+        scheduler = CosineAnnealingLR(optimizer, t_max=5)
+        values = []
+        for _ in range(5):
+            scheduler.step()
+            values.append(optimizer.lr)
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_invalid_args(self):
+        optimizer = SGD([make_param([1.0])], lr=1.0)
+        with pytest.raises(ValueError):
+            StepLR(optimizer, step_size=0)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(optimizer, t_max=0)
+
+
+class TestTrainingIntegration:
+    def test_linear_regression_converges(self, rng):
+        """End-to-end: SGD on a linear model recovers planted weights."""
+        true_w = np.array([[2.0, -1.0]])
+        x = rng.normal(size=(100, 2))
+        y = x @ true_w.T
+        layer = nn.Linear(2, 1, rng=rng)
+        optimizer = SGD(list(layer.named_parameters()), lr=0.1, momentum=0.5)
+        loss_fn = nn.MSELoss()
+        from repro.tensor import Tensor
+
+        for _ in range(100):
+            optimizer.zero_grad()
+            loss = loss_fn(layer(Tensor(x)), y)
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(layer.weight.data, true_w, atol=0.05)

@@ -1,0 +1,128 @@
+"""Physical compaction: the masked and compacted models must agree exactly."""
+
+import numpy as np
+import pytest
+
+from repro.models import CNN5, LeNet5
+from repro.pruning import (
+    ChannelMask,
+    compact_model,
+    compaction_summary,
+    expand_channel_mask,
+)
+from repro.tensor import Tensor
+
+
+def mask_for(model, pruned):
+    """ChannelMask pruning the given {bn_name: [indices]} channels."""
+    channels = ChannelMask.dense_for(model)
+    for bn_name, indices in pruned.items():
+        keep = channels[bn_name].copy()
+        keep[list(indices)] = False
+        channels[bn_name] = keep
+    return channels
+
+
+def settle_bn_stats(model, x, steps=3):
+    """Run a few training-mode forwards so running stats are non-trivial."""
+    model.train()
+    for _ in range(steps):
+        model(Tensor(x))
+    model.eval()
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "model_cls,input_shape,pruned",
+        [
+            (CNN5, (5, 1, 28, 28), {"bn1": [0, 4], "bn2": [1, 7, 13]}),
+            (LeNet5, (5, 3, 32, 32), {"bn1": [2], "bn2": [0, 5, 10, 15]}),
+        ],
+    )
+    def test_masked_equals_compacted(self, rng, model_cls, input_shape, pruned):
+        model = model_cls(rng=rng)
+        x = rng.normal(size=input_shape)
+        settle_bn_stats(model, x)
+
+        channels = mask_for(model, pruned)
+        compacted = compact_model(model, channels)
+        compacted.eval()
+
+        # Mask the original in place (simulated sparsity).
+        expand_channel_mask(model, channels).apply_to_model(model)
+        model.eval()
+
+        masked_out = model(Tensor(x)).data
+        compact_out = compacted(Tensor(x)).data
+        np.testing.assert_allclose(compact_out, masked_out, atol=1e-10)
+
+    def test_training_mode_equivalence(self, rng):
+        """Batch statistics are per-channel, so train mode agrees too."""
+        model = CNN5(rng=rng)
+        x = rng.normal(size=(8, 1, 28, 28))
+        channels = mask_for(model, {"bn1": [1], "bn2": [3, 9]})
+        compacted = compact_model(model, channels)
+        expand_channel_mask(model, channels).apply_to_model(model)
+        model.train()
+        compacted.train()
+        np.testing.assert_allclose(
+            compacted(Tensor(x)).data, model(Tensor(x)).data, atol=1e-10
+        )
+
+
+class TestShapes:
+    def test_layer_widths_shrink(self, rng):
+        model = CNN5(rng=rng)
+        channels = mask_for(model, {"bn1": [0, 1, 2], "bn2": [0, 1, 2, 3]})
+        compacted = compact_model(model, channels)
+        assert compacted.conv1.out_channels == 7
+        assert compacted.conv2.in_channels == 7
+        assert compacted.conv2.out_channels == 16
+        assert compacted.bn1.num_features == 7
+        assert compacted.fc1.in_features == 16 * 16  # 16 channels x 4x4
+
+    def test_parameter_count_drops(self, rng):
+        model = LeNet5(rng=rng)
+        channels = mask_for(model, {"bn1": [0, 1, 2], "bn2": list(range(8))})
+        compacted = compact_model(model, channels)
+        summary = compaction_summary(model, compacted)
+        assert summary["compact_params"] < summary["dense_params"]
+        assert summary["param_reduction"] > 0.2
+        assert summary["compact_channels"] == 22 - 11
+
+    def test_original_untouched(self, rng):
+        model = CNN5(rng=rng)
+        before = model.state_dict()
+        compact_model(model, mask_for(model, {"bn1": [0]}))
+        after = model.state_dict()
+        for name, value in before.items():
+            np.testing.assert_array_equal(value, after[name])
+
+    def test_compacted_state_dict_consistent(self, rng):
+        model = CNN5(rng=rng)
+        compacted = compact_model(model, mask_for(model, {"bn1": [0, 1]}))
+        state = compacted.state_dict()
+        assert state["conv1.weight"].shape == (8, 1, 5, 5)
+        assert state["bn1.running_mean"].shape == (8,)
+
+
+class TestValidation:
+    def test_all_channels_pruned_rejected(self, rng):
+        model = CNN5(rng=rng)
+        channels = ChannelMask.dense_for(model)
+        channels["bn1"] = np.zeros(10, dtype=bool)
+        with pytest.raises(ValueError, match="all channels pruned"):
+            compact_model(model, channels)
+
+    def test_wrong_shape_rejected(self, rng):
+        model = CNN5(rng=rng)
+        channels = ChannelMask.dense_for(model)
+        channels["bn1"] = np.ones(5, dtype=bool)
+        with pytest.raises(ValueError, match="shape"):
+            compact_model(model, channels)
+
+    def test_unnamed_units_stay_full_width(self, rng):
+        model = CNN5(rng=rng)
+        channels = ChannelMask({"bn2": np.ones(20, dtype=bool)})
+        compacted = compact_model(model, channels)
+        assert compacted.conv1.out_channels == 10

@@ -1,0 +1,45 @@
+"""Property test: compaction preserves the masked model's function."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.models import CNN5
+from repro.pruning import ChannelMask, compact_model, expand_channel_mask
+from repro.tensor import Tensor
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    keep1=st.lists(st.booleans(), min_size=10, max_size=10),
+    keep2=st.lists(st.booleans(), min_size=20, max_size=20),
+)
+def test_compaction_equivalence_random_masks(seed, keep1, keep2):
+    """For ANY channel mask (with >= 1 survivor per layer), compacted == masked."""
+    keep1 = np.array(keep1)
+    keep2 = np.array(keep2)
+    if not keep1.any():
+        keep1[0] = True
+    if not keep2.any():
+        keep2[0] = True
+
+    rng = np.random.default_rng(seed)
+    model = CNN5(rng=rng)
+    x = rng.normal(size=(3, 1, 28, 28))
+    # Settle BN stats, then freeze in eval mode.
+    model.train()
+    model(Tensor(x))
+    model.eval()
+
+    channels = ChannelMask({"bn1": keep1, "bn2": keep2})
+    compacted = compact_model(model, channels)
+    compacted.eval()
+    expand_channel_mask(model, channels).apply_to_model(model)
+
+    np.testing.assert_allclose(
+        compacted(Tensor(x)).data, model(Tensor(x)).data, atol=1e-9
+    )
+    # Structural check: widths really shrank.
+    assert compacted.conv1.out_channels == int(keep1.sum())
+    assert compacted.conv2.in_channels == int(keep1.sum())
+    assert compacted.fc1.in_features == int(keep2.sum()) * 16

@@ -1,0 +1,188 @@
+"""PruningController gating: the truth table of Algorithms 1-2."""
+
+import numpy as np
+import pytest
+
+from repro.models import CNN5, MLP
+from repro.pruning import (
+    PruningController,
+    StructuredConfig,
+    UnstructuredConfig,
+)
+
+
+def make_controller(rng, target=0.5, step=0.25, epsilon=0.0, acc_threshold=0.5,
+                    structured=False):
+    model = CNN5(rng=rng)
+    un = UnstructuredConfig(
+        target_rate=target, step=step, epsilon=epsilon, acc_threshold=acc_threshold
+    )
+    st = StructuredConfig(target_rate=0.4, step=0.2, epsilon=0.0) if structured else None
+    return PruningController(model, unstructured=un, structured=st), model
+
+
+def perturb(model, rng):
+    """Shift weights so first/last snapshots differ."""
+    for _, param in model.named_parameters():
+        param.data += rng.normal(scale=0.1, size=param.shape)
+
+
+class TestGating:
+    def test_commits_when_all_gates_pass(self, rng):
+        controller, model = make_controller(rng)
+        first = controller.snapshot()
+        perturb(model, rng)
+        last = controller.snapshot()
+        decision = controller.update(val_accuracy=0.9, first=first, last=last)
+        assert decision.unstructured_applied
+        assert controller.un_rate == pytest.approx(0.25)
+
+    def test_blocked_by_low_accuracy(self, rng):
+        controller, model = make_controller(rng, acc_threshold=0.8)
+        first = controller.snapshot()
+        perturb(model, rng)
+        last = controller.snapshot()
+        decision = controller.update(val_accuracy=0.5, first=first, last=last)
+        assert not decision.unstructured_applied
+        assert controller.un_rate == 0.0
+
+    def test_blocked_by_mask_distance(self, rng):
+        controller, model = make_controller(rng, epsilon=0.9)
+        first = controller.snapshot()
+        perturb(model, rng)
+        last = controller.snapshot()
+        decision = controller.update(val_accuracy=1.0, first=first, last=last)
+        assert not decision.unstructured_applied
+        assert decision.unstructured_distance < 0.9
+
+    def test_blocked_at_target(self, rng):
+        controller, model = make_controller(rng, target=0.25, step=0.25)
+        first = controller.snapshot()
+        perturb(model, rng)
+        last = controller.snapshot()
+        controller.update(1.0, first, last)
+        assert controller.un_rate == pytest.approx(0.25)
+        # Second attempt: target reached, must not move.
+        first = controller.snapshot()
+        perturb(model, rng)
+        last = controller.snapshot()
+        decision = controller.update(1.0, first, last)
+        assert not decision.unstructured_applied
+        assert controller.un_rate == pytest.approx(0.25)
+
+    def test_rate_caps_at_target(self, rng):
+        controller, model = make_controller(rng, target=0.3, step=0.25)
+        for _ in range(4):
+            first = controller.snapshot()
+            perturb(model, rng)
+            last = controller.snapshot()
+            controller.update(1.0, first, last)
+        assert controller.un_rate == pytest.approx(0.3)
+        assert controller.unstructured_sparsity() <= 0.3 + 1e-9
+
+    def test_history_recorded(self, rng):
+        controller, model = make_controller(rng)
+        first = controller.snapshot()
+        last = controller.snapshot()
+        controller.update(1.0, first, last)
+        assert len(controller.history) == 1
+
+
+class TestSparsityEvolution:
+    def test_sparsity_monotone_nondecreasing(self, rng):
+        controller, model = make_controller(rng, target=0.7, step=0.2)
+        values = [controller.unstructured_sparsity()]
+        for _ in range(5):
+            first = controller.snapshot()
+            perturb(model, rng)
+            last = controller.snapshot()
+            controller.update(1.0, first, last)
+            controller.combined_mask().apply_to_model(model)
+            values.append(controller.unstructured_sparsity())
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_masks_nested_over_time(self, rng):
+        """Committed masks shrink monotonically: once pruned, always pruned."""
+        controller, model = make_controller(rng, target=0.6, step=0.3)
+        previous = controller.un_mask.copy()
+        for _ in range(3):
+            first = controller.snapshot()
+            perturb(model, rng)
+            last = controller.snapshot()
+            controller.update(1.0, first, last)
+            current = controller.un_mask
+            for name in current.names():
+                assert ((current[name] == 1) <= (previous[name] == 1)).all()
+            previous = current.copy()
+
+
+class TestHybridIndependence:
+    def test_structured_branch_independent(self, rng):
+        """Algorithm 2: one branch can commit while the other is blocked."""
+        model = CNN5(rng=rng)
+        un = UnstructuredConfig(target_rate=0.5, step=0.25, epsilon=float("inf"))
+        st = StructuredConfig(target_rate=0.4, step=0.2, epsilon=0.0)
+        controller = PruningController(model, unstructured=un, structured=st)
+        first = controller.snapshot()
+        perturb(model, rng)
+        last = controller.snapshot()
+        decision = controller.update(1.0, first, last)
+        assert not decision.unstructured_applied  # infinite epsilon blocks
+        assert decision.structured_applied
+
+    def test_hybrid_un_covers_fc_only(self, rng):
+        model = CNN5(rng=rng)
+        controller = PruningController(
+            model,
+            unstructured=UnstructuredConfig(),
+            structured=StructuredConfig(),
+        )
+        assert set(controller.un_names) == set(model.fc_weight_names())
+
+    def test_pure_un_covers_all_weights(self, rng):
+        model = CNN5(rng=rng)
+        controller = PruningController(model, unstructured=UnstructuredConfig())
+        assert set(controller.un_names) == set(model.prunable_weight_names())
+
+    def test_combined_mask_intersects_branches(self, rng):
+        model = CNN5(rng=rng)
+        controller = PruningController(
+            model,
+            unstructured=UnstructuredConfig(target_rate=0.5, step=0.5, epsilon=0.0),
+            structured=StructuredConfig(target_rate=0.4, step=0.4, epsilon=0.0),
+        )
+        first = controller.snapshot()
+        perturb(model, rng)
+        last = controller.snapshot()
+        controller.update(1.0, first, last)
+        combined = controller.combined_mask()
+        assert "conv1.weight" in combined  # structured expansion present
+        assert "fc1.weight" in combined  # unstructured branch present
+        assert controller.channel_sparsity() > 0.0
+
+
+class TestValidation:
+    def test_requires_some_branch(self, rng):
+        with pytest.raises(ValueError):
+            PruningController(CNN5(rng=rng))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            UnstructuredConfig(target_rate=1.0)
+        with pytest.raises(ValueError):
+            UnstructuredConfig(step=0.0)
+        with pytest.raises(ValueError):
+            StructuredConfig(target_rate=-0.1)
+
+    def test_mlp_structured_free(self, rng):
+        """An MLP (no conv units) works with unstructured-only pruning."""
+        model = MLP(8, 2, hidden=(6,), rng=rng)
+        controller = PruningController(
+            model, unstructured=UnstructuredConfig(target_rate=0.5, step=0.5, epsilon=0.0)
+        )
+        first = controller.snapshot()
+        for _, param in model.named_parameters():
+            param.data += rng.normal(scale=0.1, size=param.shape)
+        last = controller.snapshot()
+        decision = controller.update(1.0, first, last)
+        assert decision.unstructured_applied

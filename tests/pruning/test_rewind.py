@@ -1,0 +1,83 @@
+"""Lottery-ticket rewind mode of the pruning controller."""
+
+import numpy as np
+import pytest
+
+from repro.models import MLP
+from repro.pruning import PruningController, UnstructuredConfig
+
+
+def make(rng, rewind, **cfg):
+    model = MLP(8, 2, hidden=(6,), rng=rng)
+    defaults = dict(target_rate=0.5, step=0.5, epsilon=0.0, acc_threshold=0.0)
+    defaults.update(cfg)
+    controller = PruningController(
+        model, unstructured=UnstructuredConfig(rewind=rewind, **defaults)
+    )
+    return model, controller
+
+
+def drift(model, rng):
+    for _, param in model.named_parameters():
+        param.data += rng.normal(scale=0.5, size=param.shape)
+
+
+class TestRewind:
+    def test_commit_resets_kept_weights_to_init(self, rng):
+        model, controller = make(rng, rewind=True)
+        init = {
+            name: param.data.copy() for name, param in model.named_parameters()
+        }
+        first = controller.snapshot()
+        drift(model, rng)
+        last = controller.snapshot()
+        decision = controller.update(1.0, first, last)
+        assert decision.unstructured_applied
+        params = dict(model.named_parameters())
+        for name in controller.un_names:
+            mask = controller.un_mask[name]
+            kept = mask == 1
+            np.testing.assert_allclose(params[name].data[kept], init[name][kept])
+            np.testing.assert_allclose(params[name].data[~kept], 0.0)
+
+    def test_no_rewind_keeps_trained_weights(self, rng):
+        model, controller = make(rng, rewind=False)
+        init = {
+            name: param.data.copy() for name, param in model.named_parameters()
+        }
+        first = controller.snapshot()
+        drift(model, rng)
+        last = controller.snapshot()
+        controller.update(1.0, first, last)
+        params = dict(model.named_parameters())
+        name = controller.un_names[0]
+        kept = controller.un_mask[name] == 1
+        assert not np.allclose(params[name].data[kept], init[name][kept])
+
+    def test_rewind_without_commit_is_noop(self, rng):
+        model, controller = make(rng, rewind=True, acc_threshold=0.99)
+        first = controller.snapshot()
+        drift(model, rng)
+        snapshot_after_drift = {
+            name: param.data.copy() for name, param in model.named_parameters()
+        }
+        last = controller.snapshot()
+        decision = controller.update(0.1, first, last)  # fails the acc gate
+        assert not decision.unstructured_applied
+        params = dict(model.named_parameters())
+        for name, value in snapshot_after_drift.items():
+            np.testing.assert_array_equal(params[name].data, value)
+
+    def test_no_init_snapshot_without_rewind(self, rng):
+        _, controller = make(rng, rewind=False)
+        assert controller._init_state is None
+
+    def test_uncovered_tensors_not_rewound(self, rng):
+        """Biases are outside the unstructured scope: they keep training."""
+        model, controller = make(rng, rewind=True)
+        init_bias = model.fc1.bias.data.copy()
+        first = controller.snapshot()
+        drift(model, rng)
+        last = controller.snapshot()
+        controller.update(1.0, first, last)
+        assert not np.allclose(model.fc1.bias.data, init_bias)

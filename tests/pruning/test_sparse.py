@@ -1,0 +1,90 @@
+"""Sparse wire-format encoding of pruned uploads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.models import CNN5
+from repro.pruning import (
+    MaskSet,
+    decode_state,
+    encode_state,
+    magnitude_mask,
+    payload_bytes,
+    upload_size_bytes,
+)
+
+
+class TestRoundTrip:
+    def test_exact_on_kept_zero_on_pruned(self, rng):
+        state = {"w": rng.normal(size=(6, 5)).astype(np.float32).astype(np.float64)}
+        mask = MaskSet({"w": (rng.random((6, 5)) > 0.5).astype(float)})
+        decoded = decode_state(encode_state(state, mask))
+        keep = mask["w"].astype(bool)
+        np.testing.assert_array_equal(decoded["w"][keep], state["w"][keep])
+        np.testing.assert_array_equal(decoded["w"][~keep], 0.0)
+
+    def test_float32_is_the_only_loss(self, rng):
+        state = {"w": rng.normal(size=100)}
+        mask = MaskSet({"w": np.ones(100)})
+        decoded = decode_state(encode_state(state, mask))
+        np.testing.assert_allclose(decoded["w"], state["w"], atol=1e-6)
+
+    def test_uncovered_tensors_skipped(self, rng):
+        state = {"w": rng.normal(size=4), "b": rng.normal(size=2)}
+        mask = MaskSet({"w": np.ones(4)})
+        payloads = encode_state(state, mask)
+        assert set(payloads) == {"w"}
+
+    def test_shape_mismatch_raises(self, rng):
+        state = {"w": rng.normal(size=4)}
+        mask = MaskSet({"w": np.ones(5)})
+        with pytest.raises(ValueError):
+            encode_state(state, mask)
+
+    def test_corrupt_payload_detected(self, rng):
+        state = {"w": rng.normal(size=8)}
+        mask = MaskSet({"w": np.ones(8)})
+        payloads = encode_state(state, mask)
+        payloads["w"].values = payloads["w"].values[:-1]  # drop one value
+        with pytest.raises(ValueError, match="corrupt"):
+            decode_state(payloads)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        size=st.integers(min_value=1, max_value=64),
+        rate=st.floats(min_value=0.0, max_value=0.9),
+    )
+    def test_property_roundtrip_any_mask(self, size, rate):
+        rng = np.random.default_rng(0)
+        state = {"w": rng.normal(size=size)}
+        mask = magnitude_mask(state, ["w"], rate=rate)
+        decoded = decode_state(encode_state(state, mask))
+        keep = mask["w"].astype(bool)
+        np.testing.assert_allclose(decoded["w"][keep], state["w"][keep], atol=1e-6)
+        assert (decoded["w"][~keep] == 0).all()
+
+
+class TestSizeAccounting:
+    def test_payload_bytes_matches_helper(self, rng):
+        model = CNN5(rng=rng)
+        state = model.state_dict()
+        names = model.prunable_weight_names()
+        mask = magnitude_mask(state, names, rate=0.5)
+        payloads = encode_state(state, mask)
+        assert payload_bytes(payloads) == upload_size_bytes(state, mask)
+
+    def test_size_shrinks_with_sparsity(self, rng):
+        state = {"w": rng.normal(size=1000)}
+        sizes = []
+        for rate in (0.0, 0.5, 0.9):
+            mask = magnitude_mask(state, ["w"], rate=rate)
+            sizes.append(upload_size_bytes(state, mask))
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_matches_cost_model_convention(self, rng):
+        """4 bytes per kept value + 1 bit per coordinate (packed to bytes)."""
+        state = {"w": rng.normal(size=80)}
+        mask = magnitude_mask(state, ["w"], rate=0.25)
+        expected = 60 * 4 + 80 // 8
+        assert upload_size_bytes(state, mask) == expected

@@ -1,0 +1,106 @@
+"""Magnitude-mask derivation: exact counts, scopes, monotonicity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pruning import MaskSet, magnitude_mask, random_mask, sparsity_of
+
+
+class TestMagnitudeMask:
+    def test_prunes_exact_fraction(self):
+        state = {"w": np.arange(1.0, 11.0)}  # distinct magnitudes 1..10
+        masks = magnitude_mask(state, ["w"], rate=0.3)
+        assert masks.sparsity() == pytest.approx(0.3)
+        np.testing.assert_array_equal(masks["w"][:3], [0, 0, 0])
+        np.testing.assert_array_equal(masks["w"][3:], np.ones(7))
+
+    def test_uses_absolute_value(self):
+        state = {"w": np.array([-10.0, 0.1, 5.0, -0.2])}
+        masks = magnitude_mask(state, ["w"], rate=0.5)
+        np.testing.assert_array_equal(masks["w"], [1, 0, 1, 0])
+
+    def test_zero_rate_keeps_all(self, rng):
+        state = {"w": rng.normal(size=20)}
+        masks = magnitude_mask(state, ["w"], rate=0.0)
+        assert masks.sparsity() == 0.0
+
+    def test_global_scope_ranks_jointly(self):
+        state = {"small": np.full(5, 0.1), "big": np.full(5, 10.0)}
+        masks = magnitude_mask(state, ["small", "big"], rate=0.5, scope="global")
+        assert masks["small"].sum() == 0  # all small weights pruned
+        assert masks["big"].sum() == 5
+
+    def test_layer_scope_ranks_per_tensor(self):
+        state = {"small": np.arange(1.0, 5.0), "big": np.arange(10.0, 14.0)}
+        masks = magnitude_mask(state, ["small", "big"], rate=0.5, scope="layer")
+        assert masks["small"].sum() == 2
+        assert masks["big"].sum() == 2
+
+    def test_previous_mask_enforced(self):
+        state = {"w": np.array([5.0, 4.0, 3.0, 2.0])}
+        previous = MaskSet({"w": np.array([0, 1, 1, 1])})
+        masks = magnitude_mask(state, ["w"], rate=0.25, previous=previous)
+        assert masks["w"][0] == 0  # stays pruned despite large magnitude
+
+    def test_monotone_in_rate(self, rng):
+        state = {"w": rng.normal(size=100)}
+        low = magnitude_mask(state, ["w"], rate=0.2)
+        high = magnitude_mask(state, ["w"], rate=0.6)
+        # Everything pruned at 20% is also pruned at 60%.
+        assert ((high["w"] == 1) <= (low["w"] == 1)).all()
+
+    def test_invalid_rate_raises(self):
+        with pytest.raises(ValueError):
+            magnitude_mask({"w": np.ones(3)}, ["w"], rate=1.0)
+        with pytest.raises(ValueError):
+            magnitude_mask({"w": np.ones(3)}, ["w"], rate=-0.1)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            magnitude_mask({"w": np.ones(3)}, ["v"], rate=0.5)
+
+    def test_unknown_scope_raises(self):
+        with pytest.raises(ValueError):
+            magnitude_mask({"w": np.ones(3)}, ["w"], rate=0.5, scope="bogus")
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rate=st.floats(min_value=0.0, max_value=0.95),
+        size=st.integers(min_value=1, max_value=200),
+    )
+    def test_property_sparsity_close_to_rate(self, rate, size):
+        rng = np.random.default_rng(0)
+        state = {"w": rng.normal(size=size)}
+        masks = magnitude_mask(state, ["w"], rate=rate)
+        expected = np.floor(rate * size) / size
+        assert masks.sparsity() == pytest.approx(expected, abs=1e-12)
+
+    @settings(max_examples=30, deadline=None)
+    @given(rate=st.floats(min_value=0.0, max_value=0.9))
+    def test_property_kept_entries_dominate_pruned(self, rate):
+        rng = np.random.default_rng(1)
+        state = {"w": rng.normal(size=64)}
+        masks = magnitude_mask(state, ["w"], rate=rate)
+        kept = np.abs(state["w"][masks["w"] == 1])
+        pruned = np.abs(state["w"][masks["w"] == 0])
+        if len(kept) and len(pruned):
+            assert kept.min() >= pruned.max()
+
+
+class TestHelpers:
+    def test_sparsity_of(self):
+        state = {"w": np.array([0.0, 1.0, 0.0, 2.0])}
+        assert sparsity_of(state, ["w"]) == 0.5
+
+    def test_sparsity_of_empty(self):
+        assert sparsity_of({}, []) == 0.0
+
+    def test_random_mask_rate(self):
+        rng = np.random.default_rng(0)
+        masks = random_mask({"w": (100, 100)}, rate=0.3, rng=rng)
+        assert masks.sparsity() == pytest.approx(0.3, abs=0.02)
+
+    def test_random_mask_invalid_rate(self):
+        with pytest.raises(ValueError):
+            random_mask({"w": (3,)}, rate=1.5, rng=np.random.default_rng(0))

@@ -1,0 +1,90 @@
+"""Remaining engine surface: copies, dtype coercion, graph hygiene."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, check_gradients, numerical_gradient
+
+
+class TestConstruction:
+    def test_list_coerced_to_float64(self):
+        tensor = Tensor([1, 2, 3])
+        assert tensor.dtype == np.float64
+
+    def test_float32_upcast(self):
+        tensor = Tensor(np.zeros(3, dtype=np.float32))
+        assert tensor.dtype == np.float64
+
+    def test_ndarray_not_copied_when_dtype_matches(self):
+        data = np.zeros(3)
+        tensor = Tensor(data)
+        assert tensor.data is data
+
+    def test_copy_is_independent(self):
+        tensor = Tensor([1.0], requires_grad=True)
+        clone = tensor.copy()
+        clone.data[0] = 9.0
+        assert tensor.data[0] == 1.0
+        assert clone.requires_grad
+
+    def test_size_ndim_properties(self):
+        tensor = Tensor(np.zeros((2, 3, 4)))
+        assert tensor.size == 24
+        assert tensor.ndim == 3
+
+
+class TestGraphHygiene:
+    def test_non_grad_branch_gets_no_gradient(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=False)
+        (a * b).sum().backward()
+        assert b.grad is None
+        assert a.grad is not None
+
+    def test_repeated_backward_accumulates(self):
+        a = Tensor([1.0], requires_grad=True)
+        out = (a * 3).sum()
+        out.backward()
+        out2 = (a * 3).sum()
+        out2.backward()
+        np.testing.assert_allclose(a.grad, [6.0])
+
+    def test_long_chain(self):
+        a = Tensor([1.0], requires_grad=True)
+        out = a
+        for _ in range(200):
+            out = out * 1.01
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.01 ** 200], rtol=1e-10)
+
+    def test_shared_subexpression_counted_once_per_path(self):
+        a = Tensor([2.0], requires_grad=True)
+        shared = a * 3
+        out = (shared + shared).sum()  # d/da = 6
+        out.backward()
+        np.testing.assert_allclose(a.grad, [6.0])
+
+
+class TestNumericalGradient:
+    def test_matches_analytic_for_quadratic(self):
+        a = Tensor([1.5, -0.5], requires_grad=True)
+        numeric = numerical_gradient(lambda: (a * a).sum(), a)
+        np.testing.assert_allclose(numeric, 2 * a.data, atol=1e-6)
+
+    def test_check_gradients_raises_on_wrong_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+
+        class Liar:
+            """An op whose backward is intentionally wrong."""
+
+            def build(self):
+                out = Tensor(a.data * 2, requires_grad=True, _parents=(a,))
+
+                def bad_backward(grad):
+                    a._accumulate(grad * 99.0)  # truth is 2.0
+
+                out._backward = bad_backward
+                return out.sum()
+
+        with pytest.raises(AssertionError, match="gradient mismatch"):
+            check_gradients(Liar().build, [a])

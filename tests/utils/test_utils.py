@@ -1,0 +1,68 @@
+"""Utility helpers: RNG fan-out, timers, logging."""
+
+import logging
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import Timer, get_logger, seed_everything, spawn_rng
+from repro.utils.rng import hash_stable
+
+
+class TestRng:
+    def test_seed_everything_deterministic(self):
+        a = seed_everything(5).normal(size=4)
+        b = seed_everything(5).normal(size=4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_spawn_rng_streams_decorrelated(self):
+        a = spawn_rng(1, "partition").normal(size=100)
+        b = spawn_rng(1, "model").normal(size=100)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.3
+
+    def test_spawn_rng_deterministic(self):
+        a = spawn_rng(7, "x", 3).normal(size=5)
+        b = spawn_rng(7, "x", 3).normal(size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_spawn_rng_tuple_seed(self):
+        rng = spawn_rng((1, 2), "stream")
+        assert rng.normal() is not None
+
+    def test_hash_stable_is_stable(self):
+        assert hash_stable("abc") == hash_stable("abc")
+        assert hash_stable("abc") != hash_stable("abd")
+
+
+class TestTimer:
+    def test_context_manager(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.01
+
+    def test_lap_without_stop(self):
+        timer = Timer().start()
+        assert timer.lap() >= 0.0
+
+    def test_stop_before_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+        with pytest.raises(RuntimeError):
+            Timer().lap()
+
+
+class TestLogger:
+    def test_namespaced(self):
+        logger = get_logger("test")
+        assert logger.name == "repro.test"
+
+    def test_idempotent_handlers(self):
+        a = get_logger("dup")
+        b = get_logger("dup")
+        assert a is b
+        assert len(a.handlers) == 1
+
+    def test_level_setting(self):
+        logger = get_logger("lvl", level=logging.DEBUG)
+        assert logger.level == logging.DEBUG
