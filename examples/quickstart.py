@@ -1,23 +1,31 @@
 #!/usr/bin/env python3
 """Quickstart: train Sub-FedAvg (Un) on a small non-IID MNIST federation.
 
-Runs in well under a minute on a laptop CPU.  Demonstrates the one-call
-``build_federation`` API and the run history it returns: per-round loss,
-sparsity, communication traffic, and the final personalized accuracy.
+Runs in well under a minute on a laptop CPU.  Demonstrates the canonical
+``Federation`` API: a serializable :class:`FederationConfig` describes the
+run, ``Federation.from_config`` builds clients + trainer through the
+algorithm registry, and lifecycle callbacks observe every round as it
+happens.  The config is written to ``quickstart.json``, so the exact run
+can be replayed later with ``python -m repro run --config quickstart.json``.
 
 Usage::
 
     python examples/quickstart.py
 """
 
-from repro.federated import build_federation, LocalTrainConfig
+from repro.federated import (
+    Federation,
+    FederationConfig,
+    LocalTrainConfig,
+    ProgressLogger,
+)
 from repro.pruning import UnstructuredConfig
 
 
 def main() -> None:
-    trainer = build_federation(
+    config = FederationConfig(
         dataset="mnist",  # synthetic stand-in; see DESIGN.md §2
-        algorithm="sub-fedavg-un",  # Algorithm 1 of the paper
+        algorithm="sub-fedavg-un",  # Algorithm 1 of the paper (registry name)
         num_clients=10,
         rounds=5,
         sample_fraction=0.5,  # 5 clients per round
@@ -33,16 +41,17 @@ def main() -> None:
         ),
     )
 
-    history = trainer.run()
+    # The config is a plain serializable value: saved next to the results,
+    # `python -m repro run --config quickstart.json` reproduces this run.
+    from pathlib import Path
+
+    Path("quickstart.json").write_text(config.to_json())
+    print("run config written to quickstart.json")
+
+    federation = Federation.from_config(config)
+    history = federation.run(callbacks=[ProgressLogger()])
 
     print(f"algorithm: {history.algorithm}")
-    for record in history.rounds:
-        print(
-            f"  round {record.round_index}: "
-            f"loss={record.train_loss:.3f} "
-            f"sparsity={record.mean_sparsity:.0%} "
-            f"uplink={record.uploaded_bytes / 1e6:.2f} MB"
-        )
     print(f"final mean personalized accuracy: {history.final_accuracy:.1%}")
     print(f"total communication: {history.total_communication_gb * 1000:.1f} MB")
 

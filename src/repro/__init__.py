@@ -7,10 +7,15 @@ benchmarks, the Sub-FedAvg algorithms and all paper baselines.
 
 Quickstart
 ----------
->>> from repro.federated import build_federation
->>> trainer = build_federation(dataset="mnist", algorithm="sub-fedavg-un",
-...                            num_clients=10, rounds=3, n_train=600, n_test=200)
->>> history = trainer.run()  # doctest: +SKIP
+>>> from repro.federated import Federation, FederationConfig
+>>> federation = Federation.from_config(FederationConfig(
+...     dataset="mnist", algorithm="sub-fedavg-un",
+...     num_clients=10, rounds=3, n_train=600, n_test=200))
+>>> history = federation.run()  # doctest: +SKIP
+
+Algorithms are plugins (``repro.federated.register_trainer``), run configs
+serialize to JSON, and callbacks (``ProgressLogger``, ``EarlyStopping``,
+``CheckpointCallback``, ``WallClockCallback``) hook into the round loop.
 """
 
 from . import data, experiments, federated, models, nn, optim, pruning, tensor, utils

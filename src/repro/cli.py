@@ -2,7 +2,9 @@
 
 Usage::
 
+    python -m repro list
     python -m repro run    --dataset mnist --algorithm sub-fedavg-un --preset smoke
+    python -m repro run    --config run.json
     python -m repro table1 --dataset mnist --preset smoke
     python -m repro table2 --dataset cifar10
     python -m repro fig2   --dataset mnist --preset smoke
@@ -10,34 +12,47 @@ Usage::
     python -m repro ablate --which aggregation --dataset mnist
     python -m repro report --dataset mnist --out report.md
 
-Each subcommand prints the corresponding paper artifact to stdout and
-optionally saves the raw run history (``--save history.json``).
+Algorithm, dataset and preset choices are resolved from the registries
+(``repro.federated.registry``, ``repro.data.synthetic.SPECS``,
+``repro.experiments.presets``), so a newly registered plugin appears here
+without CLI edits.  ``run`` accepts either flags or a serialized
+:class:`~repro.federated.builder.FederationConfig` (``--config run.json``;
+write one with ``--export-config``).  Each subcommand prints the
+corresponding paper artifact to stdout and optionally saves the raw run
+history (``--save history.json``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
+from .data.synthetic import SPECS
 from .experiments import (
+    PRESETS,
     ascii_plot,
+    federation_config,
+    get_preset,
     fig2_series,
     fig3_series,
     format_table1,
     format_table2,
     rounds_to_target,
-    run_algorithm,
     run_convergence,
     run_sparsity_sweep,
     run_table1,
     run_table2,
 )
-from .federated import ALGORITHMS
+from .federated import (
+    Federation,
+    FederationConfig,
+    ProgressLogger,
+    available_algorithms,
+    trainer_specs,
+)
 from .utils.serialization import save_history
-
-DATASETS = ("mnist", "emnist", "cifar10", "cifar100")
-PRESETS = ("smoke", "small", "paper")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -45,30 +60,56 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro", description="Sub-FedAvg reproduction driver"
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    datasets = tuple(SPECS)
+    presets = tuple(PRESETS)
 
     def common(p: argparse.ArgumentParser, preset: bool = True) -> None:
-        p.add_argument("--dataset", choices=DATASETS, default="mnist")
+        p.add_argument("--dataset", choices=datasets, default="mnist")
         p.add_argument("--seed", type=int, default=0)
         if preset:
-            p.add_argument("--preset", choices=PRESETS, default="smoke")
+            p.add_argument("--preset", choices=presets, default="smoke")
+
+    list_cmd = sub.add_parser(
+        "list", help="show registered algorithms, datasets and presets"
+    )
+    list_cmd.set_defaults(func=_cmd_list)
 
     run_cmd = sub.add_parser("run", help="run one algorithm end to end")
     common(run_cmd)
-    run_cmd.add_argument("--algorithm", choices=ALGORITHMS, default="sub-fedavg-un")
+    run_cmd.add_argument(
+        "--algorithm", choices=available_algorithms(), default="sub-fedavg-un"
+    )
+    run_cmd.add_argument(
+        "--config", help="run a serialized FederationConfig JSON file "
+        "(overrides --dataset/--algorithm/--preset/--seed)"
+    )
+    run_cmd.add_argument(
+        "--export-config",
+        help="write the resolved FederationConfig JSON here and exit "
+        "without training (replay it later with --config)",
+    )
     run_cmd.add_argument("--save", help="write the run history JSON here")
+    run_cmd.add_argument(
+        "--progress", action="store_true", help="print a per-round progress line"
+    )
+    run_cmd.set_defaults(func=_cmd_run)
 
     table1 = sub.add_parser("table1", help="regenerate Table 1")
     common(table1)
+    table1.set_defaults(func=_cmd_table1)
 
     table2 = sub.add_parser("table2", help="regenerate Table 2 (analytic)")
     common(table2, preset=False)
+    table2.set_defaults(func=_cmd_table2)
 
     fig2 = sub.add_parser("fig2", help="accuracy vs pruning-percentage sweep")
     common(fig2)
+    fig2.set_defaults(func=_cmd_fig2)
 
     fig3 = sub.add_parser("fig3", help="accuracy vs communication rounds")
     common(fig3)
     fig3.add_argument("--target", type=float, default=0.8, help="accuracy target")
+    fig3.set_defaults(func=_cmd_fig3)
 
     ablate = sub.add_parser("ablate", help="run a DESIGN.md §7 ablation")
     common(ablate)
@@ -77,67 +118,102 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("aggregation", "gate", "heterogeneity", "step"),
         default="aggregation",
     )
+    ablate.set_defaults(func=_run_ablation)
 
     report = sub.add_parser("report", help="full reproduction report to markdown")
     common(report)
     report.add_argument("--out", default="report.md", help="output markdown path")
+    report.set_defaults(func=_cmd_report)
 
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    return args.func(args)
 
-    if args.command == "run":
-        history = run_algorithm(
-            args.dataset, args.algorithm, preset=args.preset, seed=args.seed
+
+def _cmd_list(args) -> int:
+    print("algorithms:")
+    for spec in trainer_specs():
+        sections = f" (config: {', '.join(spec.config_sections)})" if spec.config_sections else ""
+        print(f"  {spec.name:18s} {spec.summary}{sections}")
+    print("datasets:")
+    for name, spec in SPECS.items():
+        shape = "x".join(str(dim) for dim in spec.shape)
+        print(f"  {name:18s} {shape}, {spec.num_classes} classes")
+    print("presets:")
+    for preset in PRESETS.values():
+        print(
+            f"  {preset.name:18s} {preset.num_clients} clients, "
+            f"{preset.rounds} rounds, C={preset.sample_fraction}, "
+            f"{preset.n_train}/{preset.n_test} train/test examples"
         )
-        print(f"{args.algorithm} on {args.dataset} ({args.preset}):")
-        print(f"  final personalized accuracy: {history.final_accuracy:.4f}")
-        print(f"  total communication: {history.total_communication_gb:.4f} GB")
-        if args.save:
-            save_history(args.save, history)
-            print(f"  history saved to {args.save}")
-        return 0
+    return 0
 
-    if args.command == "table1":
-        rows = run_table1(args.dataset, preset=args.preset, seed=args.seed)
-        print(format_table1(f"{args.dataset} ({args.preset})", rows))
-        return 0
 
-    if args.command == "table2":
-        print(format_table2(args.dataset, run_table2(args.dataset, seed=args.seed)))
-        return 0
+def _resolve_run_config(args) -> FederationConfig:
+    if args.config:
+        return FederationConfig.from_json(Path(args.config).read_text())
+    return federation_config(
+        args.dataset, args.algorithm, get_preset(args.preset), seed=args.seed
+    )
 
-    if args.command == "fig2":
-        points = run_sparsity_sweep(args.dataset, preset=args.preset, seed=args.seed)
-        curve = fig2_series(points)
-        print(f"Figure 2 — {args.dataset}: mean accuracy vs mean pruning %")
-        for sparsity, accuracy in curve:
-            print(f"  sparsity {sparsity:.2f} -> accuracy {accuracy:.3f}")
-        print(ascii_plot(curve))
-        return 0
 
-    if args.command == "fig3":
-        histories = run_convergence(args.dataset, preset=args.preset, seed=args.seed)
-        print(f"Figure 3 — {args.dataset}: accuracy per round")
-        for name, curve in fig3_series(histories).items():
-            formatted = ", ".join(f"{accuracy:.3f}" for _, accuracy in curve)
-            print(f"  {name:14s}: {formatted}")
-        print(f"rounds to {args.target:.0%}: {rounds_to_target(histories, args.target)}")
-        return 0
+def _cmd_run(args) -> int:
+    config = _resolve_run_config(args)
+    if args.export_config:
+        Path(args.export_config).write_text(config.to_json())
+        print(f"config written to {args.export_config}")
+        return 0  # export is a preparation step, not a run
+    callbacks = [ProgressLogger()] if args.progress else None
+    history = Federation.from_config(config).run(callbacks=callbacks)
+    print(f"{config.algorithm} on {config.dataset} ({config.num_clients} clients):")
+    print(f"  final personalized accuracy: {history.final_accuracy:.4f}")
+    print(f"  total communication: {history.total_communication_gb:.4f} GB")
+    if args.save:
+        save_history(args.save, history)
+        print(f"  history saved to {args.save}")
+    return 0
 
-    if args.command == "ablate":
-        return _run_ablation(args)
 
-    if args.command == "report":
-        from .experiments.report import write_report
+def _cmd_table1(args) -> int:
+    rows = run_table1(args.dataset, preset=args.preset, seed=args.seed)
+    print(format_table1(f"{args.dataset} ({args.preset})", rows))
+    return 0
 
-        write_report(args.out, datasets=(args.dataset,), preset=args.preset, seed=args.seed)
-        print(f"report written to {args.out}")
-        return 0
 
-    return 1  # unreachable: argparse enforces the choices
+def _cmd_table2(args) -> int:
+    print(format_table2(args.dataset, run_table2(args.dataset, seed=args.seed)))
+    return 0
+
+
+def _cmd_fig2(args) -> int:
+    points = run_sparsity_sweep(args.dataset, preset=args.preset, seed=args.seed)
+    curve = fig2_series(points)
+    print(f"Figure 2 — {args.dataset}: mean accuracy vs mean pruning %")
+    for sparsity, accuracy in curve:
+        print(f"  sparsity {sparsity:.2f} -> accuracy {accuracy:.3f}")
+    print(ascii_plot(curve))
+    return 0
+
+
+def _cmd_fig3(args) -> int:
+    histories = run_convergence(args.dataset, preset=args.preset, seed=args.seed)
+    print(f"Figure 3 — {args.dataset}: accuracy per round")
+    for name, curve in fig3_series(histories).items():
+        formatted = ", ".join(f"{accuracy:.3f}" for _, accuracy in curve)
+        print(f"  {name:14s}: {formatted}")
+    print(f"rounds to {args.target:.0%}: {rounds_to_target(histories, args.target)}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .experiments.report import write_report
+
+    write_report(args.out, datasets=(args.dataset,), preset=args.preset, seed=args.seed)
+    print(f"report written to {args.out}")
+    return 0
 
 
 def _run_ablation(args) -> int:

@@ -15,12 +15,10 @@ Four ablations, each isolating one mechanism the paper relies on:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Sequence
 
-from ..federated import FederationConfig, History, LocalTrainConfig, build_trainer, make_clients
-from ..federated.trainers.subfedavg import SubFedAvgUn
-from ..federated.builder import model_factory
+from ..federated import Federation, FederationConfig
 from ..pruning import UnstructuredConfig
 from .presets import get_preset
 from .runner import federation_config, run_algorithm
@@ -39,19 +37,11 @@ class AblationResult:
 def _run_subfedavg_with(
     config: FederationConfig, aggregator: str, unstructured: UnstructuredConfig
 ) -> tuple:
-    clients = make_clients(config)
-    trainer = SubFedAvgUn(
-        clients=clients,
-        model_fn=model_factory(config),
-        rounds=config.rounds,
-        unstructured=unstructured,
-        sample_fraction=config.sample_fraction,
-        seed=config.seed,
-        eval_every=config.eval_every,
-        aggregator=aggregator,
+    federation = Federation.from_config(
+        replace(config, unstructured=unstructured), aggregator=aggregator
     )
-    history = trainer.run()
-    return trainer, history
+    history = federation.run()
+    return federation.trainer, history
 
 
 def ablate_aggregation(

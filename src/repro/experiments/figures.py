@@ -96,7 +96,7 @@ def run_fig1_trajectory(
     with the paper's 5-10%-per-iteration schedule (``step`` defaults to 8%).
     Returns client id → chronological (sparsity, accuracy) curve.
     """
-    from ..federated.builder import build_trainer, make_clients
+    from ..federated import Federation
     from .runner import federation_config
     from .presets import get_preset
 
@@ -107,13 +107,11 @@ def run_fig1_trajectory(
         seed=seed,
         unstructured=UnstructuredConfig(target_rate=target_rate, step=step),
     )
-    clients = make_clients(config)
-    trainer = build_trainer(config, clients)
-    trainer.track_trajectory = True
-    trainer.run()
+    federation = Federation.from_config(config, track_trajectory=True)
+    federation.run()
 
     curves: Dict[int, List[Tuple[float, float]]] = {}
-    for point in trainer.trajectory:
+    for point in federation.trainer.trajectory:
         curves.setdefault(point.client_id, []).append(
             (point.sparsity, point.test_accuracy)
         )

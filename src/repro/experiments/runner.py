@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Optional
 
-from ..federated import FederationConfig, History, LocalTrainConfig, build_federation
+from ..federated import Federation, FederationConfig, History, LocalTrainConfig
 from ..pruning import StructuredConfig, UnstructuredConfig
 from .presets import ScalePreset, get_preset
 
@@ -47,6 +46,7 @@ def run_algorithm(
     unstructured: Optional[UnstructuredConfig] = None,
     structured: Optional[StructuredConfig] = None,
     eval_every: Optional[int] = None,
+    callbacks=None,
     **overrides,
 ) -> History:
     """Run one (dataset, algorithm) cell of the evaluation grid."""
@@ -60,29 +60,7 @@ def run_algorithm(
         eval_every=eval_every,
         **overrides,
     )
-    trainer = build_federation(**_as_kwargs(config))
-    return trainer.run()
-
-
-def _as_kwargs(config: FederationConfig) -> dict:
-    return {
-        "dataset": config.dataset,
-        "algorithm": config.algorithm,
-        "num_clients": config.num_clients,
-        "rounds": config.rounds,
-        "sample_fraction": config.sample_fraction,
-        "shards_per_client": config.shards_per_client,
-        "n_train": config.n_train,
-        "n_test": config.n_test,
-        "val_fraction": config.val_fraction,
-        "seed": config.seed,
-        "eval_every": config.eval_every,
-        "partition": config.partition,
-        "dirichlet_alpha": config.dirichlet_alpha,
-        "local": config.local,
-        "unstructured": config.unstructured,
-        "structured": config.structured,
-    }
+    return Federation.from_config(config).run(callbacks=callbacks)
 
 
 def format_table(headers, rows) -> str:

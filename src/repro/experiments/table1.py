@@ -4,7 +4,9 @@ The paper's Table 1 compares, per dataset, the personalized accuracy,
 achieved pruning percentages and total communication cost of Standalone,
 FedAvg, MTL, FedProx (MNIST only), LG-FedAvg, Sub-FedAvg (Un) at target
 rates 30/50/70% and Sub-FedAvg (Hy) at 50/70/90%.  This driver regenerates
-those rows at a configurable scale preset.
+those rows at a configurable scale preset; every cell runs through the
+registry-backed :class:`~repro.federated.federation.Federation` path, so a
+newly registered algorithm can be added to the grid by name alone.
 """
 
 from __future__ import annotations

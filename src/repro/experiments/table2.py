@@ -7,7 +7,8 @@ unchanged (masked scalars still occupy dense kernels — the paper reports
 channel pruning delivers the FLOP reduction (paper: 2.4× at ~50% channels
 on LeNet-5).  These quantities are analytic — they follow from the channel
 census, not from training — which is how the paper itself derives them, so
-this driver computes them exactly.
+this driver computes them exactly (no federation is built; the trainer
+registry is not involved).
 """
 
 from __future__ import annotations

@@ -1,4 +1,22 @@
-"""Federated learning core: clients, aggregation, trainers and accounting."""
+"""Federated learning core: the ``Federation`` API, trainers and accounting.
+
+The canonical entry point is the :class:`Federation` facade over a
+serializable :class:`FederationConfig`:
+
+>>> from repro.federated import Federation, FederationConfig, ProgressLogger
+>>> config = FederationConfig(dataset="mnist", algorithm="sub-fedavg-un",
+...                           num_clients=10, rounds=5, seed=0)
+>>> federation = Federation.from_config(config)
+>>> history = federation.run(callbacks=[ProgressLogger()])  # doctest: +SKIP
+
+Algorithms are plugins: trainer classes self-register with
+:func:`register_trainer`, and :data:`ALGORITHMS` is a derived view of the
+registry.  Lifecycle callbacks (:class:`ProgressLogger`,
+:class:`EarlyStopping`, :class:`CheckpointCallback`,
+:class:`WallClockCallback`, or any :class:`Callback` subclass) observe and
+steer the round loop.  ``build_federation`` and ``run_with_checkpoints``
+remain as thin shims over the same machinery.
+"""
 
 from .aggregation import (
     fedavg_average,
@@ -6,14 +24,30 @@ from .aggregation import (
     partial_average,
     zero_fill_average,
 )
+from .registry import (
+    TrainerSpec,
+    available_algorithms,
+    get_trainer,
+    register_trainer,
+    trainer_specs,
+    unregister_trainer,
+)
+from .callbacks import (
+    Callback,
+    CallbackList,
+    CheckpointCallback,
+    EarlyStopping,
+    ProgressLogger,
+    WallClockCallback,
+)
 from .builder import (
-    ALGORITHMS,
     FederationConfig,
     build_federation,
     build_trainer,
     make_clients,
     model_factory,
 )
+from .federation import Federation
 from .client import FederatedClient, LocalTrainConfig, LocalTrainResult
 from .metrics import History, RoundRecord
 from .sampler import ClientSampler, FixedSampler
@@ -63,7 +97,29 @@ from .evaluation import (
 )
 from . import accounting
 
+def __getattr__(name: str):
+    # ALGORITHMS is a live derived view of the registry, not a snapshot:
+    # plugins registered (or unregistered) after this package was imported
+    # are reflected immediately.
+    if name == "ALGORITHMS":
+        return available_algorithms()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
+    "Federation",
+    "FederationConfig",
+    "TrainerSpec",
+    "register_trainer",
+    "unregister_trainer",
+    "get_trainer",
+    "trainer_specs",
+    "available_algorithms",
+    "Callback",
+    "CallbackList",
+    "ProgressLogger",
+    "EarlyStopping",
+    "CheckpointCallback",
+    "WallClockCallback",
     "FederatedClient",
     "LocalTrainConfig",
     "LocalTrainResult",
@@ -83,7 +139,6 @@ __all__ = [
     "Standalone",
     "SubFedAvgUn",
     "SubFedAvgHy",
-    "FederationConfig",
     "build_federation",
     "build_trainer",
     "make_clients",

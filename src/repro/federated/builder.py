@@ -1,23 +1,35 @@
-"""One-call construction of a complete federation.
+"""Construction of a complete federation from a declarative config.
 
-This is the library's main entry point: pick a dataset family, an
-algorithm and a scale, get back a ready-to-run trainer.
+:class:`FederationConfig` is the single serializable description of one
+experiment run: it round-trips through ``to_dict``/``from_dict`` and
+``to_json``/``from_json``, so a run can be stored next to its results and
+replayed bit-for-bit (``python -m repro run --config run.json``).
 
-Example
--------
->>> from repro.federated import build_federation
->>> trainer = build_federation(
+Trainer dispatch is registry-driven: :func:`build_trainer` resolves
+``config.algorithm`` through :mod:`~repro.federated.registry`, forwards the
+config sections the trainer declared (``unstructured``/``structured``) and
+applies its declared ``LocalTrainConfig`` defaults — no if/elif chain, so
+a new algorithm only needs a ``@register_trainer`` decorator.
+
+The canonical high-level entry point is the
+:class:`~repro.federated.federation.Federation` facade:
+
+>>> from repro.federated import Federation, FederationConfig
+>>> federation = Federation.from_config(FederationConfig(
 ...     dataset="cifar10", algorithm="sub-fedavg-un",
 ...     num_clients=10, rounds=5, seed=0,
-... )
->>> history = trainer.run()
->>> history.final_accuracy  # doctest: +SKIP
+... ))
+>>> history = federation.run()  # doctest: +SKIP
+
+``build_federation(**kwargs)`` is kept as a thin shim over the same path
+for existing callers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Callable, List, Optional
+import json
+from dataclasses import asdict, dataclass, field, fields, is_dataclass, replace
+from typing import Any, Callable, Dict, List, Mapping
 
 from ..data import build_client_data, load_dataset
 from ..data.synthetic import SPECS
@@ -25,27 +37,26 @@ from ..models import create_model
 from ..models.base import ConvNet
 from ..pruning import StructuredConfig, UnstructuredConfig
 from .client import FederatedClient, LocalTrainConfig
+from . import trainers as _trainers  # noqa: F401  (populates the registry)
+from .registry import available_algorithms, get_trainer
 from .trainers.base import FederatedTrainer
-from .trainers.fedavg import FedAvg, FedProx
-from .trainers.lgfedavg import LGFedAvg
-from .trainers.mtl import FedMTL
-from .trainers.standalone import Standalone
-from .trainers.subfedavg import SubFedAvgHy, SubFedAvgUn
 
-ALGORITHMS = (
-    "standalone",
-    "fedavg",
-    "fedprox",
-    "lg-fedavg",
-    "mtl",
-    "sub-fedavg-un",
-    "sub-fedavg-hy",
-)
+#: Nested config sections and the dataclass each deserializes into.
+_SECTION_TYPES = {
+    "local": LocalTrainConfig,
+    "unstructured": UnstructuredConfig,
+    "structured": StructuredConfig,
+}
 
 
 @dataclass(frozen=True)
 class FederationConfig:
-    """Everything needed to set up one experiment run."""
+    """Everything needed to set up one experiment run.
+
+    The nested sections are plain frozen dataclasses, so the whole config
+    serializes losslessly: ``FederationConfig.from_json(cfg.to_json())``
+    compares equal to ``cfg`` and reproduces the identical run.
+    """
 
     dataset: str = "cifar10"
     algorithm: str = "sub-fedavg-un"
@@ -60,17 +71,45 @@ class FederationConfig:
     eval_every: int = 0
     partition: str = "shard"
     dirichlet_alpha: float = 0.5
-    local: LocalTrainConfig = LocalTrainConfig()
-    unstructured: Optional[UnstructuredConfig] = None
-    structured: Optional[StructuredConfig] = None
+    local: LocalTrainConfig = field(default_factory=LocalTrainConfig)
+    unstructured: UnstructuredConfig | None = None
+    structured: StructuredConfig | None = None
 
     def __post_init__(self) -> None:
         if self.dataset not in SPECS:
             raise KeyError(f"unknown dataset {self.dataset!r}")
-        if self.algorithm not in ALGORITHMS:
-            raise KeyError(
-                f"unknown algorithm {self.algorithm!r}; choose from {ALGORITHMS}"
-            )
+        get_trainer(self.algorithm)  # raises KeyError for unknown algorithms
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict; nested sections become plain dicts (or None)."""
+        payload: Dict[str, Any] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            payload[spec.name] = asdict(value) if is_dataclass(value) else value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FederationConfig":
+        """Inverse of :meth:`to_dict`; unknown keys raise ``KeyError``."""
+        data = dict(payload)
+        unknown = set(data) - {spec.name for spec in fields(cls)}
+        if unknown:
+            raise KeyError(f"unknown FederationConfig fields: {sorted(unknown)}")
+        for section, section_cls in _SECTION_TYPES.items():
+            value = data.get(section)
+            if isinstance(value, Mapping):
+                data[section] = section_cls(**value)
+        return cls(**data)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FederationConfig":
+        return cls.from_dict(json.loads(text))
 
 
 def make_clients(config: FederationConfig) -> List[FederatedClient]:
@@ -89,10 +128,9 @@ def make_clients(config: FederationConfig) -> List[FederatedClient]:
         dirichlet_alpha=config.dirichlet_alpha,
     )
     local = config.local
-    if config.algorithm == "fedprox" and local.prox_mu <= 0:
-        local = replace(local, prox_mu=0.01)
-    if config.algorithm == "mtl" and local.mtl_lambda <= 0:
-        local = replace(local, mtl_lambda=0.1)
+    for name, default in get_trainer(config.algorithm).local_defaults.items():
+        if getattr(local, name) <= 0:
+            local = replace(local, **{name: default})
     model_fn = model_factory(config)
     return [
         FederatedClient(bundle, model_fn, local, seed=config.seed)
@@ -107,43 +145,45 @@ def model_factory(config: FederationConfig) -> Callable[[], ConvNet]:
 
 
 def build_trainer(
-    config: FederationConfig, clients: List[FederatedClient]
+    config: FederationConfig, clients: List[FederatedClient], **overrides
 ) -> FederatedTrainer:
-    """Wire the configured algorithm's trainer over prepared clients."""
-    model_fn = model_factory(config)
-    common = dict(
+    """Wire the configured algorithm's trainer over prepared clients.
+
+    The trainer class and the config sections it consumes come from the
+    registry; ``overrides`` are extra keyword arguments forwarded verbatim
+    to the trainer constructor (e.g. ``aggregator=`` for ablations or
+    ``track_trajectory=`` for Figure 1).
+    """
+    spec = get_trainer(config.algorithm)
+    kwargs: Dict[str, Any] = dict(
         clients=clients,
-        model_fn=model_fn,
+        model_fn=model_factory(config),
         rounds=config.rounds,
         sample_fraction=config.sample_fraction,
         seed=config.seed,
         eval_every=config.eval_every,
     )
-    if config.algorithm == "standalone":
-        return Standalone(**common)
-    if config.algorithm == "fedavg":
-        return FedAvg(**common)
-    if config.algorithm == "fedprox":
-        return FedProx(**common)
-    if config.algorithm == "lg-fedavg":
-        return LGFedAvg(**common)
-    if config.algorithm == "mtl":
-        return FedMTL(**common)
-    if config.algorithm == "sub-fedavg-un":
-        return SubFedAvgUn(
-            unstructured=config.unstructured or UnstructuredConfig(), **common
-        )
-    if config.algorithm == "sub-fedavg-hy":
-        return SubFedAvgHy(
-            unstructured=config.unstructured or UnstructuredConfig(),
-            structured=config.structured or StructuredConfig(),
-            **common,
-        )
-    raise KeyError(f"unknown algorithm {config.algorithm!r}")
+    for section in spec.config_sections:
+        value = getattr(config, section)
+        if value is not None:
+            kwargs[section] = value
+    kwargs.update(overrides)
+    return spec.cls(**kwargs)
 
 
 def build_federation(**kwargs) -> FederatedTrainer:
-    """Convenience: ``FederationConfig(**kwargs)`` → clients → trainer."""
+    """Deprecated shim: ``FederationConfig(**kwargs)`` → clients → trainer.
+
+    Prefer ``Federation.from_config(FederationConfig(...))``, which keeps
+    the config attached to the run.
+    """
     config = FederationConfig(**kwargs)
-    clients = make_clients(config)
-    return build_trainer(config, clients)
+    return build_trainer(config, make_clients(config))
+
+
+def __getattr__(name: str):
+    # ALGORITHMS is a live view of the registry (modules registering after
+    # this one imports — compression, robustness, plugins — still appear).
+    if name == "ALGORITHMS":
+        return available_algorithms()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -22,8 +22,6 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Union
 
-import numpy as np
-
 from .metrics import History, RoundRecord
 from .trainers.base import FederatedTrainer
 from .trainers.subfedavg import SubFedAvgTrainer
@@ -97,33 +95,15 @@ def run_with_checkpoints(
     every: int = 10,
     resume: bool = True,
 ) -> History:
-    """Drive ``trainer`` round by round, checkpointing every ``every`` rounds.
+    """Deprecated shim over the callback API.
 
-    If ``resume`` and ``path`` exists, training continues from the stored
-    round.  The final evaluation matches ``FederatedTrainer.run``.
+    Equivalent to ``trainer.run(callbacks=[CheckpointCallback(path,
+    every=every, resume=resume)])``, which is the preferred spelling — it
+    composes with other callbacks (progress, early stopping, wall clock).
     """
-    if every < 1:
-        raise ValueError(f"every must be >= 1, got {every}")
-    start_round = 0
-    path = Path(path)
-    if resume and path.exists():
-        start_round = load_checkpoint(path, trainer)
+    from .callbacks import CheckpointCallback
 
-    for round_index in range(start_round + 1, trainer.rounds + 1):
-        sampled = trainer.sampler.sample()
-        record = trainer._round(round_index, sampled)
-        if trainer.eval_every and round_index % trainer.eval_every == 0:
-            record.mean_accuracy = trainer.evaluate_all()
-        trainer.history.append(record)
-        if round_index % every == 0 or round_index == trainer.rounds:
-            save_checkpoint(path, trainer, round_index)
-
-    per_client = {
-        client.client_id: trainer._evaluate_client(client) for client in trainer.clients
-    }
-    trainer.history.final_per_client_accuracy = per_client
-    trainer.history.final_accuracy = float(np.mean(list(per_client.values())))
-    return trainer.history
+    return trainer.run(callbacks=[CheckpointCallback(path, every=every, resume=resume)])
 
 
 def _history_to_dict(history: History) -> dict:

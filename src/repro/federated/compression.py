@@ -28,6 +28,7 @@ from ..pruning.unstructured import _rank_threshold
 from .accounting.communication import FLOAT_BITS, MASK_BITS, RoundTraffic
 from .aggregation import fedavg_average
 from .metrics import RoundRecord
+from .registry import register_trainer
 from .trainers.fedavg import FedAvg
 
 State = Dict[str, np.ndarray]
@@ -132,6 +133,7 @@ class QuantizationCompressor(Compressor):
         return encoded, total_bits
 
 
+@register_trainer("fedavg-compressed")
 class FedAvgCompressed(FedAvg):
     """FedAvg whose uplink carries compressed *updates* instead of states.
 

@@ -1,0 +1,93 @@
+"""The ``Federation`` facade: config in, trained federation out.
+
+One object owns the whole lifecycle of an experiment run — the declarative
+:class:`~repro.federated.builder.FederationConfig`, the client population
+built from it, the registry-resolved trainer, and the resulting
+:class:`~repro.federated.metrics.History`:
+
+>>> from repro.federated import EarlyStopping, Federation, FederationConfig
+>>> federation = Federation.from_config(FederationConfig(
+...     dataset="mnist", algorithm="sub-fedavg-un",
+...     num_clients=10, rounds=5, seed=0,
+... ))
+>>> history = federation.run(callbacks=[EarlyStopping(patience=2)])  # doctest: +SKIP
+
+Because the config serializes (``to_json``/``from_json``), a run can be
+reconstructed exactly from a stored file::
+
+    Federation.from_json(Path("run.json").read_text()).run()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Mapping, Optional
+
+from .builder import FederationConfig, build_trainer, make_clients
+from .client import FederatedClient
+from .metrics import History
+from .trainers.base import FederatedTrainer
+
+
+class Federation:
+    """A configured federated experiment, ready to run.
+
+    Construction is eager: clients and the trainer are built immediately,
+    so the object can be inspected (``.clients``, ``.trainer``) before
+    :meth:`run` is called, and checkpoints can be restored into it.
+    """
+
+    def __init__(self, config: FederationConfig, **trainer_overrides) -> None:
+        self.config = config
+        self._clients = make_clients(config)
+        self._trainer = build_trainer(config, self._clients, **trainer_overrides)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_config(cls, config: FederationConfig, **trainer_overrides) -> "Federation":
+        """Build from a :class:`FederationConfig`.
+
+        ``trainer_overrides`` are forwarded to the trainer constructor
+        (e.g. ``aggregator="zerofill"``, ``track_trajectory=True``).
+        """
+        return cls(config, **trainer_overrides)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any], **trainer_overrides) -> "Federation":
+        return cls(FederationConfig.from_dict(payload), **trainer_overrides)
+
+    @classmethod
+    def from_json(cls, text: str, **trainer_overrides) -> "Federation":
+        return cls(FederationConfig.from_json(text), **trainer_overrides)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def run(self, callbacks: Optional[Iterable] = None) -> History:
+        """Execute the run, dispatching ``callbacks`` around every round."""
+        return self._trainer.run(callbacks=callbacks)
+
+    @property
+    def trainer(self) -> FederatedTrainer:
+        return self._trainer
+
+    @property
+    def clients(self) -> List[FederatedClient]:
+        return self._clients
+
+    @property
+    def history(self) -> History:
+        """The run history so far (empty until :meth:`run` has executed rounds)."""
+        return self._trainer.history
+
+    @property
+    def algorithm(self) -> str:
+        return self.config.algorithm
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Federation(algorithm={self.config.algorithm!r}, "
+            f"dataset={self.config.dataset!r}, clients={len(self._clients)}, "
+            f"rounds={self.config.rounds})"
+        )

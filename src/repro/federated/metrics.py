@@ -19,6 +19,7 @@ class RoundRecord:
     mean_channel_sparsity: float = 0.0  # avg channel sparsity over clients
     uploaded_bytes: float = 0.0
     downloaded_bytes: float = 0.0
+    wall_clock_seconds: Optional[float] = None  # simulated seconds (WallClockCallback)
 
 
 @dataclass

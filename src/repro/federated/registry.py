@@ -1,0 +1,117 @@
+"""Trainer registry: the plugin point for federated algorithms.
+
+Every trainer class registers itself under its public algorithm name with
+the :func:`register_trainer` decorator, declaring which optional
+:class:`~repro.federated.builder.FederationConfig` sections it consumes
+(``"unstructured"``, ``"structured"``) and any per-field defaults it needs
+patched into clients' :class:`~repro.federated.client.LocalTrainConfig`
+(e.g. FedProx's ``prox_mu``).  Construction sites — the builder, the
+:class:`~repro.federated.federation.Federation` facade and the CLI — look
+algorithms up here instead of hard-coding an if/elif chain, so adding an
+algorithm is one decorated class, no core edits:
+
+>>> from repro.federated.registry import register_trainer
+>>> from repro.federated.trainers.base import FederatedTrainer
+>>> @register_trainer("my-algo")
+... class MyAlgo(FederatedTrainer):
+...     def _round(self, round_index, sampled):
+...         ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Tuple, Type
+
+#: FederationConfig attributes a trainer may declare in ``config_sections``.
+KNOWN_CONFIG_SECTIONS = ("unstructured", "structured")
+
+
+@dataclass(frozen=True)
+class TrainerSpec:
+    """One registry entry: the class plus its construction contract."""
+
+    name: str
+    cls: Type
+    config_sections: Tuple[str, ...] = ()
+    local_defaults: Mapping[str, float] = field(default_factory=dict)
+    summary: str = ""
+
+
+_REGISTRY: Dict[str, TrainerSpec] = {}
+
+
+def register_trainer(
+    name: str,
+    *,
+    config_sections: Tuple[str, ...] = (),
+    local_defaults: Mapping[str, float] = (),
+    summary: str = "",
+) -> Callable[[Type], Type]:
+    """Class decorator adding a trainer to the registry under ``name``.
+
+    ``config_sections`` names the optional :class:`FederationConfig`
+    sections forwarded to the constructor (keyword arguments of the same
+    name).  ``local_defaults`` maps ``LocalTrainConfig`` field names to the
+    value the builder should substitute when the user left the field at a
+    non-positive placeholder (how FedProx gets a default ``prox_mu``).
+    ``summary`` defaults to the first line of the class docstring.
+    """
+    for section in config_sections:
+        if section not in KNOWN_CONFIG_SECTIONS:
+            raise ValueError(
+                f"unknown config section {section!r}; "
+                f"choose from {KNOWN_CONFIG_SECTIONS}"
+            )
+
+    def decorator(cls: Type) -> Type:
+        if name in _REGISTRY:
+            raise ValueError(
+                f"trainer {name!r} is already registered "
+                f"(by {_REGISTRY[name].cls.__name__})"
+            )
+        doc = summary or _first_doc_line(cls)
+        cls.algorithm_name = name
+        _REGISTRY[name] = TrainerSpec(
+            name=name,
+            cls=cls,
+            config_sections=tuple(config_sections),
+            local_defaults=dict(local_defaults),
+            summary=doc,
+        )
+        return cls
+
+    return decorator
+
+
+def get_trainer(name: str) -> TrainerSpec:
+    """Look up one registered trainer; raises ``KeyError`` for unknown names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; choose from {available_algorithms()}"
+        ) from None
+
+
+def available_algorithms() -> Tuple[str, ...]:
+    """Registered algorithm names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def trainer_specs() -> Tuple[TrainerSpec, ...]:
+    """All registry entries, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+def unregister_trainer(name: str) -> TrainerSpec:
+    """Remove one entry (plugin teardown / test isolation); returns it."""
+    try:
+        return _REGISTRY.pop(name)
+    except KeyError:
+        raise KeyError(f"trainer {name!r} is not registered") from None
+
+
+def _first_doc_line(cls: Type) -> str:
+    doc = (cls.__doc__ or "").strip()
+    return doc.splitlines()[0] if doc else ""

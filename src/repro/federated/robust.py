@@ -24,6 +24,7 @@ import numpy as np
 from .accounting.communication import dense_exchange
 from .aggregation import fedavg_average
 from .metrics import RoundRecord
+from .registry import register_trainer
 from .trainers.fedavg import FedAvg
 
 State = Dict[str, np.ndarray]
@@ -128,6 +129,7 @@ def trimmed_mean_average(states: Sequence[State], trim_fraction: float = 0.1) ->
     return result
 
 
+@register_trainer("robust-fedavg")
 class RobustFedAvg(FedAvg):
     """FedAvg with dropout, fault injection and a robust aggregator.
 

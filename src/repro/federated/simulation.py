@@ -12,6 +12,12 @@ deployment-relevant "seconds to accuracy":
 * :func:`time_to_accuracy` walks an accuracy curve and accumulates round
   times until the target is reached.
 
+For live (per-round, during the run) pricing instead of post-hoc analysis,
+wrap a :class:`WallClockModel` in a
+:class:`~repro.federated.callbacks.WallClockCallback` and pass it to
+``Federation.run(callbacks=[...])`` — each ``RoundRecord`` then carries its
+``wall_clock_seconds`` as the round completes.
+
 The FLOP term uses the paper's conv-only counting convention, scaled by
 the per-round number of local passes (epochs × examples × 3 for the
 forward/backward pair).

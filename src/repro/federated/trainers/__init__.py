@@ -1,4 +1,10 @@
-"""Federated training algorithms."""
+"""Federated training algorithms.
+
+Importing this package populates the trainer registry: every algorithm
+module self-registers its classes with
+:func:`~repro.federated.registry.register_trainer`, which is how the
+builder, the ``Federation`` facade and the CLI resolve algorithm names.
+"""
 
 from .base import FederatedTrainer
 from .fedavg import FedAvg, FedProx

@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 import numpy as np
 
 from ...models.base import ConvNet
+from ..callbacks import CallbackList
 from ..client import FederatedClient
 from ..metrics import History, RoundRecord
 from ..sampler import ClientSampler
@@ -19,6 +20,15 @@ class FederatedTrainer:
     sampled clients, returning a partially filled :class:`RoundRecord`) and
     may override :meth:`_evaluate_client` to define what a client's
     *personal* model is under their algorithm.
+
+    :meth:`run` drives the lifecycle and dispatches
+    :mod:`~repro.federated.callbacks` hooks around every round.  The loop
+    resumes after ``len(self.history.rounds)`` completed rounds, so a
+    callback that restores a checkpoint in ``on_run_start`` (see
+    :class:`~repro.federated.callbacks.CheckpointCallback`) transparently
+    skips the finished prefix.  A callback may call :meth:`request_stop`
+    to end the loop early; the final all-client evaluation still runs, so
+    the returned history is truncated but consistent.
     """
 
     algorithm_name = "base"
@@ -44,23 +54,43 @@ class FederatedTrainer:
         self.global_state: Dict[str, np.ndarray] = model_fn().state_dict()
         self.history = History(algorithm=self.algorithm_name)
         self.total_params = int(sum(v.size for v in self.global_state.values()))
+        self.stop_requested = False
 
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def run(self) -> History:
-        """Execute all communication rounds and the final evaluation."""
-        for round_index in range(1, self.rounds + 1):
+    def request_stop(self) -> None:
+        """Ask the round loop to stop after the current round completes."""
+        self.stop_requested = True
+
+    def run(self, callbacks: Optional[Iterable] = None) -> History:
+        """Execute the remaining communication rounds and the final evaluation.
+
+        ``callbacks`` is an optional iterable of
+        :class:`~repro.federated.callbacks.Callback` objects (or anything
+        exposing a subset of the hook methods), invoked in list order.
+        """
+        dispatcher = CallbackList(callbacks)
+        self.stop_requested = False
+        dispatcher.on_run_start(self)
+        start_round = len(self.history.rounds) + 1
+        for round_index in range(start_round, self.rounds + 1):
             sampled = self.sampler.sample()
+            dispatcher.on_round_start(self, round_index, sampled)
             record = self._round(round_index, sampled)
             if self.eval_every and round_index % self.eval_every == 0:
                 record.mean_accuracy = self.evaluate_all()
+                dispatcher.on_evaluate(self, round_index, record.mean_accuracy)
             self.history.append(record)
+            dispatcher.on_round_end(self, round_index, record)
+            if self.stop_requested:
+                break
         per_client = {
             client.client_id: self._evaluate_client(client) for client in self.clients
         }
         self.history.final_per_client_accuracy = per_client
         self.history.final_accuracy = float(np.mean(list(per_client.values())))
+        dispatcher.on_run_end(self, self.history)
         return self.history
 
     def _round(self, round_index: int, sampled: List[int]) -> RoundRecord:

@@ -9,9 +9,11 @@ import numpy as np
 from ..accounting.communication import dense_exchange
 from ..aggregation import fedavg_average
 from ..metrics import RoundRecord
+from ..registry import register_trainer
 from .base import FederatedTrainer
 
 
+@register_trainer("fedavg")
 class FedAvg(FederatedTrainer):
     """Classic dense averaging weighted by client example counts.
 
@@ -63,6 +65,7 @@ class FedAvg(FederatedTrainer):
         """Hook for subclasses (FedProx installs its proximal anchor here)."""
 
 
+@register_trainer("fedprox", local_defaults={"prox_mu": 0.01})
 class FedProx(FedAvg):
     """FedAvg plus a proximal term μ/2·‖w − w_g‖² in the local objective.
 

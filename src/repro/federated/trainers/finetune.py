@@ -18,10 +18,14 @@ from typing import Callable, List
 
 from ...models.base import ConvNet
 from ..client import FederatedClient
+from ..registry import register_trainer
 from .fedavg import FedAvg
 
 
+@register_trainer("fedavg-ft")
 class FedAvgFinetune(FedAvg):
+    """FedAvg personalized by a post-hoc local fine-tune (two-step recipe)."""
+
     algorithm_name = "fedavg-ft"
 
     def __init__(

@@ -17,10 +17,14 @@ from ..accounting.communication import partial_exchange
 from ..aggregation import partial_average
 from ..client import FederatedClient
 from ..metrics import RoundRecord
+from ..registry import register_trainer
 from .base import FederatedTrainer
 
 
+@register_trainer("lg-fedavg")
 class LGFedAvg(FederatedTrainer):
+    """Personal representation layers, federated classifier head."""
+
     algorithm_name = "lg-fedavg"
 
     def __init__(

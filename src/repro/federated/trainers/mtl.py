@@ -19,10 +19,14 @@ from ..accounting.communication import dense_exchange
 from ..aggregation import fedavg_average
 from ..client import FederatedClient
 from ..metrics import RoundRecord
+from ..registry import register_trainer
 from .base import FederatedTrainer
 
 
+@register_trainer("mtl", local_defaults={"mtl_lambda": 0.1})
 class FedMTL(FederatedTrainer):
+    """Mean-regularized multi-task learning (simplified MOCHA)."""
+
     algorithm_name = "mtl"
 
     def _round(self, round_index: int, sampled: List[int]) -> RoundRecord:

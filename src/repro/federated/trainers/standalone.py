@@ -14,10 +14,14 @@ import numpy as np
 
 from ..client import FederatedClient
 from ..metrics import RoundRecord
+from ..registry import register_trainer
 from .base import FederatedTrainer
 
 
+@register_trainer("standalone")
 class Standalone(FederatedTrainer):
+    """Purely local training, no communication (the Remark-2 baseline)."""
+
     algorithm_name = "standalone"
 
     def _round(self, round_index: int, sampled: List[int]) -> RoundRecord:

@@ -29,6 +29,7 @@ from ..accounting.communication import sparse_exchange
 from ..aggregation import intersection_average, zero_fill_average
 from ..client import FederatedClient
 from ..metrics import RoundRecord
+from ..registry import register_trainer
 from .base import FederatedTrainer
 
 
@@ -155,6 +156,7 @@ class SubFedAvgTrainer(FederatedTrainer):
         )
 
 
+@register_trainer("sub-fedavg-un", config_sections=("unstructured",))
 class SubFedAvgUn(SubFedAvgTrainer):
     """Algorithm 1: Sub-FedAvg with unstructured pruning only."""
 
@@ -186,6 +188,7 @@ class SubFedAvgUn(SubFedAvgTrainer):
         )
 
 
+@register_trainer("sub-fedavg-hy", config_sections=("unstructured", "structured"))
 class SubFedAvgHy(SubFedAvgTrainer):
     """Algorithm 2: hybrid — structured on convs, unstructured on FC layers."""
 

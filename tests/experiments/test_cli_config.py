@@ -1,0 +1,69 @@
+"""CLI: the `list` subcommand and serialized-config runs."""
+
+from repro.cli import build_parser, main
+from repro.federated import FederationConfig, LocalTrainConfig, available_algorithms
+
+
+def tiny_config_json():
+    return FederationConfig(
+        dataset="mnist",
+        algorithm="fedavg",
+        num_clients=3,
+        rounds=2,
+        sample_fraction=1.0,
+        n_train=120,
+        n_test=60,
+        seed=0,
+        local=LocalTrainConfig(epochs=1, batch_size=10),
+    ).to_json()
+
+
+class TestListCommand:
+    def test_lists_registries(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "algorithms:" in out
+        for name in ("fedavg", "sub-fedavg-un", "sub-fedavg-hy"):
+            assert name in out
+        assert "datasets:" in out
+        assert "cifar10" in out
+        assert "presets:" in out
+        assert "smoke" in out
+
+    def test_choices_come_from_registry(self):
+        parser = build_parser()
+        for algorithm in available_algorithms():
+            args = parser.parse_args(["run", "--algorithm", algorithm])
+            assert args.algorithm == algorithm
+
+
+class TestConfigRuns:
+    def test_run_from_config_file(self, capsys, tmp_path):
+        config_path = tmp_path / "run.json"
+        config_path.write_text(tiny_config_json())
+        assert main(["run", "--config", str(config_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fedavg on mnist" in out
+        assert "final personalized accuracy" in out
+
+    def test_export_config_round_trips_without_training(self, capsys, tmp_path):
+        config_path = tmp_path / "run.json"
+        source_path = tmp_path / "source.json"
+        source_path.write_text(tiny_config_json())
+        assert main(
+            ["run", "--config", str(source_path), "--export-config", str(config_path)]
+        ) == 0
+        restored = FederationConfig.from_json(config_path.read_text())
+        assert restored == FederationConfig.from_json(source_path.read_text())
+        # export is a preparation step: no federation was trained
+        assert "final personalized accuracy" not in capsys.readouterr().out
+
+    def test_export_config_resolves_preset_flags(self, capsys, tmp_path):
+        config_path = tmp_path / "run.json"
+        assert main(
+            ["run", "--dataset", "mnist", "--algorithm", "fedavg",
+             "--preset", "smoke", "--export-config", str(config_path)]
+        ) == 0
+        restored = FederationConfig.from_json(config_path.read_text())
+        assert restored.algorithm == "fedavg"
+        assert restored.num_clients == 8  # smoke preset sizing

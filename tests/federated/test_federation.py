@@ -1,0 +1,101 @@
+"""The Federation facade and FederationConfig serialization round-trips."""
+
+import pytest
+
+from repro.federated import Federation, FederationConfig, LocalTrainConfig
+from repro.pruning import StructuredConfig, UnstructuredConfig
+
+
+def tiny_config(**overrides):
+    base = dict(
+        dataset="mnist",
+        algorithm="fedavg",
+        num_clients=3,
+        rounds=2,
+        sample_fraction=1.0,
+        n_train=120,
+        n_test=60,
+        seed=0,
+        local=LocalTrainConfig(epochs=1, batch_size=10),
+    )
+    base.update(overrides)
+    return FederationConfig(**base)
+
+
+class TestConfigSerialization:
+    def test_dict_round_trip_equality(self):
+        config = tiny_config(
+            algorithm="sub-fedavg-hy",
+            unstructured=UnstructuredConfig(target_rate=0.4, step=0.2),
+            structured=StructuredConfig(target_rate=0.3),
+        )
+        assert FederationConfig.from_dict(config.to_dict()) == config
+
+    def test_json_round_trip_equality(self):
+        config = tiny_config(
+            algorithm="sub-fedavg-un",
+            unstructured=UnstructuredConfig(target_rate=0.5, step=0.25, epsilon=0.0),
+        )
+        restored = FederationConfig.from_json(config.to_json())
+        assert restored == config
+        assert restored.unstructured == config.unstructured
+        assert restored.local == config.local
+
+    def test_none_sections_survive(self):
+        config = tiny_config()
+        restored = FederationConfig.from_json(config.to_json())
+        assert restored.unstructured is None
+        assert restored.structured is None
+
+    def test_to_dict_is_json_safe(self):
+        payload = tiny_config().to_dict()
+        assert isinstance(payload["local"], dict)
+        assert payload["algorithm"] == "fedavg"
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(KeyError, match="unknown FederationConfig fields"):
+            FederationConfig.from_dict({"dataset": "mnist", "typo_field": 1})
+
+    def test_local_default_factory_not_shared(self):
+        first = FederationConfig(dataset="mnist", algorithm="fedavg")
+        second = FederationConfig(dataset="mnist", algorithm="fedavg")
+        assert first.local == second.local
+        assert first.local is not second.local
+
+
+class TestFederationFacade:
+    def test_from_config_builds_clients_and_trainer(self):
+        federation = Federation.from_config(tiny_config())
+        assert len(federation.clients) == 3
+        assert federation.trainer.rounds == 2
+        assert federation.algorithm == "fedavg"
+        assert federation.history.rounds == []
+
+    def test_run_populates_history(self):
+        federation = Federation.from_config(tiny_config())
+        history = federation.run()
+        assert history is federation.history
+        assert len(history.rounds) == 2
+        assert history.final_accuracy is not None
+
+    def test_trainer_overrides(self):
+        config = tiny_config(
+            algorithm="sub-fedavg-un",
+            unstructured=UnstructuredConfig(target_rate=0.5, step=0.25),
+        )
+        federation = Federation.from_config(config, track_trajectory=True)
+        assert federation.trainer.track_trajectory is True
+
+    def test_json_reproduces_identical_run(self):
+        """Acceptance: from_json(to_json()) reproduces the exact run."""
+        config = tiny_config(
+            algorithm="sub-fedavg-un",
+            unstructured=UnstructuredConfig(
+                target_rate=0.5, step=0.25, epsilon=0.0, acc_threshold=0.0
+            ),
+        )
+        original = Federation.from_config(config).run()
+        replayed = Federation.from_json(config.to_json()).run()
+        assert replayed.final_accuracy == original.final_accuracy
+        assert replayed.total_communication_bytes == original.total_communication_bytes
+        assert replayed.final_per_client_accuracy == original.final_per_client_accuracy
