@@ -5,6 +5,7 @@ Usage::
     python -m repro list
     python -m repro run    --dataset mnist --algorithm sub-fedavg-un --preset smoke
     python -m repro run    --config run.json
+    python -m repro run    --backend thread --workers 4
     python -m repro table1 --dataset mnist --preset smoke
     python -m repro table2 --dataset cifar10
     python -m repro fig2   --dataset mnist --preset smoke
@@ -26,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from pathlib import Path
 from typing import List, Optional
 
@@ -50,6 +52,7 @@ from .federated import (
     FederationConfig,
     ProgressLogger,
     available_algorithms,
+    available_backends,
     trainer_specs,
 )
 from .utils.serialization import save_history
@@ -91,6 +94,18 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--save", help="write the run history JSON here")
     run_cmd.add_argument(
         "--progress", action="store_true", help="print a per-round progress line"
+    )
+    run_cmd.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help="client-execution backend (default: the config's, i.e. serial)",
+    )
+    run_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for thread/process backends (default: cpu count)",
     )
     run_cmd.set_defaults(func=_cmd_run)
 
@@ -154,10 +169,19 @@ def _cmd_list(args) -> int:
 
 def _resolve_run_config(args) -> FederationConfig:
     if args.config:
-        return FederationConfig.from_json(Path(args.config).read_text())
-    return federation_config(
-        args.dataset, args.algorithm, get_preset(args.preset), seed=args.seed
-    )
+        config = FederationConfig.from_json(Path(args.config).read_text())
+    else:
+        config = federation_config(
+            args.dataset, args.algorithm, get_preset(args.preset), seed=args.seed
+        )
+    overrides = {}
+    if getattr(args, "backend", None) is not None:
+        overrides["backend"] = args.backend
+    if getattr(args, "workers", None) is not None:
+        overrides["workers"] = args.workers
+    if overrides:
+        config = replace(config, **overrides)
+    return config
 
 
 def _cmd_run(args) -> int:

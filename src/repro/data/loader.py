@@ -40,6 +40,14 @@ class DataLoader:
             return count // self.batch_size
         return (count + self.batch_size - 1) // self.batch_size
 
+    def get_rng_state(self):
+        """Snapshot of the shuffle generator (a plain, picklable dict)."""
+        return self._rng.bit_generator.state
+
+    def set_rng_state(self, state) -> None:
+        """Restore a snapshot taken with :meth:`get_rng_state`."""
+        self._rng.bit_generator.state = state
+
     def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
         count = len(self.dataset)
         order = self._rng.permutation(count) if self.shuffle else np.arange(count)

@@ -11,7 +11,10 @@ serializable :class:`FederationConfig`:
 
 Algorithms are plugins: trainer classes self-register with
 :func:`register_trainer`, and :data:`ALGORITHMS` is a derived view of the
-registry.  Lifecycle callbacks (:class:`ProgressLogger`,
+registry.  Client execution is pluggable too: per-round local work runs on
+an :mod:`~repro.federated.execution` backend (``serial``, ``thread`` or
+``process`` — ``FederationConfig(backend=..., workers=...)``) with
+histories guaranteed identical across backends.  Lifecycle callbacks (:class:`ProgressLogger`,
 :class:`EarlyStopping`, :class:`CheckpointCallback`,
 :class:`WallClockCallback`, or any :class:`Callback` subclass) observe and
 steer the round loop.  ``build_federation`` and ``run_with_checkpoints``
@@ -39,6 +42,17 @@ from .callbacks import (
     EarlyStopping,
     ProgressLogger,
     WallClockCallback,
+)
+from .execution import (
+    ClientTask,
+    ClientUpdate,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_backends,
+    resolve_backend,
+    run_client_task,
 )
 from .builder import (
     FederationConfig,
@@ -108,6 +122,15 @@ def __getattr__(name: str):
 __all__ = [
     "Federation",
     "FederationConfig",
+    "ClientTask",
+    "ClientUpdate",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "available_backends",
+    "resolve_backend",
+    "run_client_task",
     "TrainerSpec",
     "register_trainer",
     "unregister_trainer",

@@ -37,6 +37,7 @@ from ..models import create_model
 from ..models.base import ConvNet
 from ..pruning import StructuredConfig, UnstructuredConfig
 from .client import FederatedClient, LocalTrainConfig
+from .execution import BACKENDS
 from . import trainers as _trainers  # noqa: F401  (populates the registry)
 from .registry import available_algorithms, get_trainer
 from .trainers.base import FederatedTrainer
@@ -71,6 +72,8 @@ class FederationConfig:
     eval_every: int = 0
     partition: str = "shard"
     dirichlet_alpha: float = 0.5
+    backend: str = "serial"  # client-execution backend: serial/thread/process
+    workers: int = 0  # worker count for parallel backends (0 = cpu count)
     local: LocalTrainConfig = field(default_factory=LocalTrainConfig)
     unstructured: UnstructuredConfig | None = None
     structured: StructuredConfig | None = None
@@ -78,6 +81,13 @@ class FederationConfig:
     def __post_init__(self) -> None:
         if self.dataset not in SPECS:
             raise KeyError(f"unknown dataset {self.dataset!r}")
+        if self.backend not in BACKENDS:
+            raise KeyError(
+                f"unknown execution backend {self.backend!r}; "
+                f"choose from {sorted(BACKENDS)}"
+            )
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
         get_trainer(self.algorithm)  # raises KeyError for unknown algorithms
 
     # ------------------------------------------------------------------
@@ -162,6 +172,8 @@ def build_trainer(
         sample_fraction=config.sample_fraction,
         seed=config.seed,
         eval_every=config.eval_every,
+        backend=config.backend,
+        workers=config.workers,
     )
     for section in spec.config_sections:
         value = getattr(config, section)

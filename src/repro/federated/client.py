@@ -48,7 +48,13 @@ class LocalTrainConfig:
 
 @dataclass
 class LocalTrainResult:
-    """Outcome of one ``train_local`` call."""
+    """Outcome of one ``train_local`` call.
+
+    ``num_examples`` counts the examples *actually processed* this call
+    (epochs × dataset passes), so FedAvg-style weighting charges a client
+    for the work it did: a straggler granted 0 epochs contributes weight 0
+    instead of its full dataset size behind a stale state.
+    """
 
     mean_loss: float
     num_examples: int
@@ -123,6 +129,35 @@ class FederatedClient:
         return self.model.state_dict()
 
     # ------------------------------------------------------------------
+    # State snapshot / restore (side-effect-free evaluation, backend sync)
+    # ------------------------------------------------------------------
+    def rng_state(self):
+        """Picklable snapshot of the client's private data-order stream."""
+        return self._loader.get_rng_state()
+
+    def set_rng_state(self, state) -> None:
+        self._loader.set_rng_state(state)
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """Capture everything local work can mutate, so it can be undone:
+        model weights, the data-order RNG stream and (when pruning is
+        attached) the controller's committed masks/rates."""
+        snapshot: Dict[str, object] = {
+            "model": self.model.state_dict(),
+            "rng": self.rng_state(),
+        }
+        if self.controller is not None:
+            snapshot["controller"] = self.controller.state_dict()
+        return snapshot
+
+    def restore_state(self, snapshot: Dict[str, object]) -> None:
+        """Undo any mutation since the matching :meth:`snapshot_state`."""
+        self.model.load_state_dict(snapshot["model"])
+        self.set_rng_state(snapshot["rng"])
+        if "controller" in snapshot and self.controller is not None:
+            self.controller.load_state_dict(snapshot["controller"])
+
+    # ------------------------------------------------------------------
     # Local training
     # ------------------------------------------------------------------
     def train_local(self, epochs: Optional[int] = None) -> LocalTrainResult:
@@ -163,7 +198,7 @@ class FederatedClient:
 
         result = LocalTrainResult(
             mean_loss=total_loss / max(total_examples, 1),
-            num_examples=len(self.data.train),
+            num_examples=total_examples,
         )
 
         if self.controller is not None:

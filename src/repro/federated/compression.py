@@ -149,32 +149,33 @@ class FedAvgCompressed(FedAvg):
         self.compressor = compressor if compressor is not None else IdentityCompressor()
 
     def _round(self, round_index: int, sampled: List[int]) -> RoundRecord:
+        updates = self.execute(self._train_tasks(sampled))
+        # Encode/decode server-side in sampled order: stochastic codecs
+        # (RandomMaskCompressor) draw from one stream, so the reduction
+        # order must not depend on the execution backend.
         states = []
         weights = []
-        losses = []
         uplink_bits = 0.0
-        for index in sampled:
-            client = self.clients[index]
-            client.load_global(self.global_state)
-            result = client.train_local()
-            losses.append(result.mean_loss)
-            update = {
+        for update in updates:
+            delta = {
                 name: value - self.global_state[name]
-                for name, value in client.state_dict().items()
+                for name, value in update.state.items()
             }
-            decoded, bits = self.compressor.encode(update)
+            decoded, bits = self.compressor.encode(delta)
             uplink_bits += bits
             states.append(
                 {name: self.global_state[name] + decoded[name] for name in decoded}
             )
-            weights.append(result.num_examples)
+            weights.append(update.num_examples)
 
-        self.global_state = fedavg_average(states, weights)
+        self.global_state = fedavg_average(
+            states, weights if sum(weights) > 0 else None
+        )
         downlink = len(sampled) * self.total_params * FLOAT_BITS / 8.0
         return RoundRecord(
             round_index=round_index,
             sampled_clients=sampled,
-            train_loss=float(np.mean(losses)),
+            train_loss=float(np.mean([update.mean_loss for update in updates])),
             uploaded_bytes=uplink_bits / 8.0,
             downloaded_bytes=downlink,
         )

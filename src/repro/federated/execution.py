@@ -1,0 +1,339 @@
+"""Pluggable client-execution backends: the round loop as a task engine.
+
+Trainers describe one communication round as a list of declarative
+:class:`ClientTask` objects — *which* client does *what* (train against the
+global weights, fine-tune-and-evaluate, …) — and hand the list to
+:meth:`FederatedTrainer.execute`, which delegates to an
+:class:`ExecutionBackend`:
+
+* :class:`SerialBackend` — runs tasks in order in the calling thread.
+  The default; bit-identical to the historical hand-rolled ``for`` loops.
+* :class:`ThreadBackend` — a thread pool.  Local training is dominated by
+  numpy/BLAS kernels that release the GIL, so sampled clients genuinely
+  overlap.  Clients are disjoint per task and each owns its own seeded
+  RNG stream, so results do not depend on scheduling.
+* :class:`ProcessBackend` — a ``fork`` process pool.  Workers inherit the
+  clients by forking, execute their tasks, and ship a picklable
+  :class:`ClientUpdate` (plus a :class:`ClientSync` of mutated client
+  state) back to the parent, which re-applies it in task order.
+
+Determinism contract: every backend returns updates in **task order**, and
+all client-side randomness comes from per-client generators
+(:class:`~repro.data.loader.DataLoader` is seeded with
+``(seed, client_id)``), so serial, threaded and multiprocess runs of the
+same federation produce identical :class:`~repro.federated.metrics.History`
+objects.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..pruning import MaskSet
+
+State = Dict[str, Any]
+
+#: Valid ``ClientTask.kind`` values.
+TASK_KINDS = ("train", "evaluate")
+
+#: Valid ``ClientTask.load`` values.
+LOAD_MODES = ("none", "global", "partial")
+
+
+@dataclass(frozen=True)
+class ClientTask:
+    """One unit of client work, described declaratively (and picklable).
+
+    ``kind="train"`` runs local SGD; ``kind="evaluate"`` measures test
+    accuracy (optionally after a fine-tune of ``epochs`` epochs).  ``load``
+    selects what the client downloads first: the full global state, the
+    ``shared_names`` subset (LG-FedAvg), or nothing (MTL, standalone).
+    """
+
+    client_index: int
+    kind: str = "train"
+    load: str = "none"
+    shared_names: Tuple[str, ...] = ()
+    anchor_global: bool = False  # FedProx / MTL regularizer reference point
+    epochs: Optional[int] = None  # train: budget override; evaluate: fine-tune
+    restore: bool = False  # evaluate: leave the client untouched afterwards
+    want_trajectory: bool = False  # Sub-FedAvg Figure-1 bookkeeping
+
+    def __post_init__(self) -> None:
+        if self.kind not in TASK_KINDS:
+            raise ValueError(f"kind must be one of {TASK_KINDS}, got {self.kind!r}")
+        if self.load not in LOAD_MODES:
+            raise ValueError(f"load must be one of {LOAD_MODES}, got {self.load!r}")
+        if self.load == "partial" and not self.shared_names:
+            raise ValueError("load='partial' requires shared_names")
+
+
+@dataclass
+class ClientSync:
+    """Client state mutated by a task, for re-applying after a process hop."""
+
+    model_state: State
+    rng_state: Dict[str, Any]
+    controller_state: Optional[Dict[str, Any]] = None
+
+
+@dataclass
+class ClientUpdate:
+    """What one task sends back to the server.
+
+    For a training task this is the paper's ClientUpdate: the post-training
+    state dict, the number of examples actually processed this round, the
+    mean loss, the committed personal mask and the pruning decisions.  For
+    an evaluation task only ``accuracy`` is populated.
+    """
+
+    client_index: int
+    client_id: int
+    state: Optional[State] = None
+    mask: Optional[MaskSet] = None
+    num_examples: int = 0
+    mean_loss: float = 0.0
+    val_accuracy: Optional[float] = None
+    pruned_unstructured: bool = False
+    pruned_structured: bool = False
+    accuracy: Optional[float] = None
+    sparsity: Optional[float] = None
+    channel_sparsity: Optional[float] = None
+    sync: Optional[ClientSync] = None
+
+
+def capture_sync(client) -> ClientSync:
+    """Snapshot everything a training task may have mutated on ``client``."""
+    controller = client.controller
+    return ClientSync(
+        model_state=client.state_dict(),
+        rng_state=client.rng_state(),
+        controller_state=None if controller is None else controller.state_dict(),
+    )
+
+
+def apply_sync(client, sync: ClientSync) -> None:
+    """Replay a worker-side mutation onto the parent's ``client``."""
+    client.model.load_state_dict(sync.model_state)
+    client.set_rng_state(sync.rng_state)
+    if sync.controller_state is not None:
+        client.controller.load_state_dict(sync.controller_state)
+
+
+def run_client_task(
+    client, task: ClientTask, global_state: State, with_sync: bool = False
+) -> ClientUpdate:
+    """Execute one task against ``client`` and package the result.
+
+    This is the single code path every backend funnels through, so serial
+    and parallel execution cannot drift apart semantically.
+    """
+    if task.kind == "train":
+        return _run_train(client, task, global_state, with_sync)
+    return _run_evaluate(client, task, global_state)
+
+
+def _load(client, task: ClientTask, global_state: State) -> None:
+    if task.load == "global":
+        client.load_global(global_state)
+    elif task.load == "partial":
+        client.load_partial(global_state, task.shared_names)
+
+
+def _run_train(
+    client, task: ClientTask, global_state: State, with_sync: bool
+) -> ClientUpdate:
+    _load(client, task, global_state)
+    if task.anchor_global:
+        client.set_anchor(global_state)
+    result = client.train_local(epochs=task.epochs)
+    update = ClientUpdate(
+        client_index=task.client_index,
+        client_id=client.client_id,
+        state=client.state_dict(),
+        mask=client.mask,
+        num_examples=result.num_examples,
+        mean_loss=result.mean_loss,
+        val_accuracy=result.val_accuracy,
+        pruned_unstructured=result.pruned_unstructured,
+        pruned_structured=result.pruned_structured,
+    )
+    if task.want_trajectory:
+        update.sparsity = client.controller.unstructured_sparsity()
+        update.channel_sparsity = client.controller.channel_sparsity()
+        update.accuracy = client.test_accuracy()
+    if with_sync:
+        update.sync = capture_sync(client)
+    return update
+
+
+def _run_evaluate(client, task: ClientTask, global_state: State) -> ClientUpdate:
+    saved = client.snapshot_state() if task.restore else None
+    _load(client, task, global_state)
+    if task.epochs:
+        client.train_local(epochs=task.epochs)
+    accuracy = client.test_accuracy()
+    if saved is not None:
+        client.restore_state(saved)
+    return ClientUpdate(
+        client_index=task.client_index,
+        client_id=client.client_id,
+        accuracy=accuracy,
+    )
+
+
+def _default_workers(workers: int) -> int:
+    if workers and workers > 0:
+        return int(workers)
+    return max(1, os.cpu_count() or 1)
+
+
+class ExecutionBackend:
+    """Strategy interface: run a batch of tasks, return updates in order."""
+
+    name = "abstract"
+
+    def run(
+        self, tasks: Sequence[ClientTask], clients: Sequence, global_state: State
+    ) -> List[ClientUpdate]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class SerialBackend(ExecutionBackend):
+    """In-order, in-thread execution — the reference semantics."""
+
+    name = "serial"
+
+    def __init__(self, workers: int = 0) -> None:  # signature-compatible
+        del workers
+
+    def run(self, tasks, clients, global_state):
+        return [
+            run_client_task(clients[task.client_index], task, global_state)
+            for task in tasks
+        ]
+
+
+class ThreadBackend(ExecutionBackend):
+    """Thread-pool execution; clients are mutated in place as in serial."""
+
+    name = "thread"
+
+    def __init__(self, workers: int = 0) -> None:
+        self.workers = _default_workers(workers)
+
+    def run(self, tasks, clients, global_state):
+        if len(tasks) <= 1:
+            return SerialBackend().run(tasks, clients, global_state)
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            futures = [
+                pool.submit(
+                    run_client_task, clients[task.client_index], task, global_state
+                )
+                for task in tasks
+            ]
+            return [future.result() for future in futures]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ThreadBackend(workers={self.workers})"
+
+
+# Per-worker context for ProcessBackend. With the fork start method the
+# pool initializer and its arguments are inherited by reference (nothing is
+# pickled), so each pool binds its own context in its own workers — two
+# federations running process pools concurrently cannot see each other's
+# clients, and nothing global mutates in the parent.
+_FORK_CONTEXT: Optional[Tuple[Sequence[ClientTask], Sequence, State]] = None
+
+
+def _init_fork_worker(tasks, clients, global_state) -> None:
+    global _FORK_CONTEXT
+    _FORK_CONTEXT = (tasks, clients, global_state)
+
+
+def _fork_entry(task_index: int) -> ClientUpdate:
+    tasks, clients, global_state = _FORK_CONTEXT
+    task = tasks[task_index]
+    return run_client_task(
+        clients[task.client_index],
+        task,
+        global_state,
+        with_sync=task.kind == "train",
+    )
+
+
+class ProcessBackend(ExecutionBackend):
+    """Fork-based process pool; worker mutations are synced back in order.
+
+    Workers inherit the federation by forking (nothing is pickled on the
+    way out); each returns a :class:`ClientUpdate` whose ``sync`` payload
+    the parent replays onto its own client, in task order, so the parent
+    federation ends the round in exactly the state a serial run produces.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int = 0) -> None:
+        self.workers = _default_workers(workers)
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "ProcessBackend requires the 'fork' start method "
+                "(unavailable on this platform); use the thread backend"
+            )
+
+    def run(self, tasks, clients, global_state):
+        if len(tasks) <= 1:
+            return SerialBackend().run(tasks, clients, global_state)
+        context = multiprocessing.get_context("fork")
+        with context.Pool(
+            min(self.workers, len(tasks)),
+            initializer=_init_fork_worker,
+            initargs=(list(tasks), clients, global_state),
+        ) as pool:
+            updates = pool.map(_fork_entry, range(len(tasks)))
+        for task, update in zip(tasks, updates):
+            if update.sync is not None:
+                apply_sync(clients[task.client_index], update.sync)
+                update.sync = None
+        return updates
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcessBackend(workers={self.workers})"
+
+
+#: Registry of constructible backends, keyed by config/CLI name.
+BACKENDS = {
+    SerialBackend.name: SerialBackend,
+    ThreadBackend.name: ThreadBackend,
+    ProcessBackend.name: ProcessBackend,
+}
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names accepted by ``FederationConfig.backend`` and ``--backend``."""
+    return tuple(BACKENDS)
+
+
+def resolve_backend(
+    backend: Union[str, ExecutionBackend, None], workers: int = 0
+) -> ExecutionBackend:
+    """Turn a config value (name, instance or None) into a backend object."""
+    if backend is None:
+        return SerialBackend()
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    try:
+        cls = BACKENDS[backend]
+    except KeyError:
+        raise KeyError(
+            f"unknown execution backend {backend!r}; "
+            f"choose from {sorted(BACKENDS)}"
+        ) from None
+    return cls(workers=workers)

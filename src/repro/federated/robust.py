@@ -163,22 +163,22 @@ class RobustFedAvg(FedAvg):
         if self.availability is not None:
             sampled = self.availability.filter(sampled)
 
+        updates = self.execute(self._train_tasks(sampled))
+        # Fault injection happens server-side in sampled order so the
+        # corruption RNG stream is backend-independent.
         states = []
         weights = []
-        losses = []
-        for index in sampled:
-            client = self.clients[index]
-            client.load_global(self.global_state)
-            result = client.train_local()
-            losses.append(result.mean_loss)
-            state = client.state_dict()
+        for update in updates:
+            state = update.state
             if self.corruption is not None:
                 state = self.corruption.maybe_corrupt(state)
             states.append(state)
-            weights.append(result.num_examples)
+            weights.append(update.num_examples)
 
         if self.aggregation == "mean":
-            self.global_state = fedavg_average(states, weights)
+            self.global_state = fedavg_average(
+                states, weights if sum(weights) > 0 else None
+            )
         elif self.aggregation == "median":
             self.global_state = median_average(states)
         else:
@@ -188,7 +188,7 @@ class RobustFedAvg(FedAvg):
         return RoundRecord(
             round_index=round_index,
             sampled_clients=list(sampled),
-            train_loss=float(np.mean(losses)),
+            train_loss=float(np.mean([update.mean_loss for update in updates])),
             uploaded_bytes=traffic.uploaded_bytes,
             downloaded_bytes=traffic.downloaded_bytes,
         )

@@ -2,13 +2,20 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ...models.base import ConvNet
 from ..callbacks import CallbackList
 from ..client import FederatedClient
+from ..execution import (
+    ClientTask,
+    ClientUpdate,
+    ExecutionBackend,
+    resolve_backend,
+    run_client_task,
+)
 from ..metrics import History, RoundRecord
 from ..sampler import ClientSampler
 
@@ -17,9 +24,16 @@ class FederatedTrainer:
     """Base class: sampling, the round loop, evaluation and bookkeeping.
 
     Subclasses implement :meth:`_round` (one communication round over the
-    sampled clients, returning a partially filled :class:`RoundRecord`) and
-    may override :meth:`_evaluate_client` to define what a client's
-    *personal* model is under their algorithm.
+    sampled clients, returning a partially filled :class:`RoundRecord`).
+    Local work inside a round is expressed as a list of declarative
+    :class:`~repro.federated.execution.ClientTask` objects handed to
+    :meth:`execute`, which runs them on the configured
+    :class:`~repro.federated.execution.ExecutionBackend` (``serial``,
+    ``thread`` or ``process``) and returns the
+    :class:`~repro.federated.execution.ClientUpdate` results in task order
+    — so aggregation is reduction-order-deterministic regardless of how
+    the tasks were scheduled.  Subclasses may override :meth:`_eval_task`
+    to define what a client's *personal* model is under their algorithm.
 
     :meth:`run` drives the lifecycle and dispatches
     :mod:`~repro.federated.callbacks` hooks around every round.  The loop
@@ -41,6 +55,8 @@ class FederatedTrainer:
         sample_fraction: float = 0.1,
         seed: int = 0,
         eval_every: int = 0,
+        backend: Union[str, ExecutionBackend, None] = "serial",
+        workers: int = 0,
     ) -> None:
         if rounds < 1:
             raise ValueError(f"rounds must be >= 1, got {rounds}")
@@ -55,6 +71,17 @@ class FederatedTrainer:
         self.history = History(algorithm=self.algorithm_name)
         self.total_params = int(sum(v.size for v in self.global_state.values()))
         self.stop_requested = False
+        self.backend = resolve_backend(backend, workers)
+
+    # ------------------------------------------------------------------
+    # Task execution
+    # ------------------------------------------------------------------
+    def execute(self, tasks: Sequence[ClientTask]) -> List[ClientUpdate]:
+        """Run ``tasks`` on the configured backend; results in task order."""
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        return self.backend.run(tasks, self.clients, self.global_state)
 
     # ------------------------------------------------------------------
     # Main loop
@@ -69,6 +96,9 @@ class FederatedTrainer:
         ``callbacks`` is an optional iterable of
         :class:`~repro.federated.callbacks.Callback` objects (or anything
         exposing a subset of the hook methods), invoked in list order.
+        Rounds — and therefore callback dispatches — stay strictly
+        sequential whatever the backend; only the client work inside a
+        round is parallelized.
         """
         dispatcher = CallbackList(callbacks)
         self.stop_requested = False
@@ -85,9 +115,10 @@ class FederatedTrainer:
             dispatcher.on_round_end(self, round_index, record)
             if self.stop_requested:
                 break
-        per_client = {
-            client.client_id: self._evaluate_client(client) for client in self.clients
-        }
+        updates = self.execute(
+            [self._eval_task(index) for index in range(len(self.clients))]
+        )
+        per_client = {update.client_id: update.accuracy for update in updates}
         self.history.final_per_client_accuracy = per_client
         self.history.final_accuracy = float(np.mean(list(per_client.values())))
         dispatcher.on_run_end(self, self.history)
@@ -99,18 +130,37 @@ class FederatedTrainer:
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
+    def _eval_task(self, client_index: int) -> ClientTask:
+        """Task measuring one client's *personal* accuracy (overridable).
+
+        The default — used by the FedAvg family and Sub-FedAvg — loads the
+        global weights (the client's committed mask, if any, is re-applied
+        by ``load_global``) and restores the client's own state afterwards,
+        so a mid-run ``evaluate_all`` never clobbers local models and the
+        tasks are safe to run concurrently.
+        """
+        return ClientTask(
+            client_index=client_index, kind="evaluate", load="global", restore=True
+        )
+
     def _evaluate_client(self, client: FederatedClient) -> float:
-        """Personalized test accuracy of one client (subclass-specific)."""
-        client.load_global(self.global_state)
-        return client.test_accuracy()
+        """Personalized test accuracy of one client (runs its eval task)."""
+        index = self.clients.index(client)
+        return run_client_task(client, self._eval_task(index), self.global_state).accuracy
 
     def evaluate_all(self) -> float:
         """Paper metric: mean personalized test accuracy over *all* clients."""
-        return float(
-            np.mean([self._evaluate_client(client) for client in self.clients])
+        updates = self.execute(
+            [self._eval_task(index) for index in range(len(self.clients))]
         )
+        return float(np.mean([update.accuracy for update in updates]))
 
     def evaluate_sampled(self, sampled: List[int]) -> float:
-        return float(
-            np.mean([self.clients[index].test_accuracy() for index in sampled])
+        """Mean test accuracy of the given clients on their current models."""
+        updates = self.execute(
+            [
+                ClientTask(client_index=index, kind="evaluate", load="none")
+                for index in sampled
+            ]
         )
+        return float(np.mean([update.accuracy for update in updates]))

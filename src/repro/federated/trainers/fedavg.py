@@ -8,6 +8,7 @@ import numpy as np
 
 from ..accounting.communication import dense_exchange
 from ..aggregation import fedavg_average
+from ..execution import ClientTask, ClientUpdate
 from ..metrics import RoundRecord
 from ..registry import register_trainer
 from .base import FederatedTrainer
@@ -24,7 +25,10 @@ class FedAvg(FederatedTrainer):
     ``stragglers`` optionally installs a
     :class:`~repro.federated.robust.StragglerModel`: each client then runs
     its own epoch budget per round instead of the configured count,
-    simulating system heterogeneity (partial local work).
+    simulating system heterogeneity (partial local work).  Aggregation
+    weights count the examples a client actually processed this round, so
+    a straggler's stale state is discounted in proportion to the work it
+    skipped (and weighted zero if it did none).
     """
 
     algorithm_name = "fedavg"
@@ -38,31 +42,38 @@ class FedAvg(FederatedTrainer):
             return None  # fall back to the client's configured epochs
         return self.stragglers.epochs_for(client_index)
 
-    def _round(self, round_index: int, sampled: List[int]) -> RoundRecord:
-        states = []
-        weights = []
-        losses = []
-        for index in sampled:
-            client = self.clients[index]
-            client.load_global(self.global_state)
-            self._before_local(client)
-            result = client.train_local(epochs=self._local_epochs(index))
-            losses.append(result.mean_loss)
-            states.append(client.state_dict())
-            weights.append(result.num_examples)
+    def _train_tasks(self, sampled: List[int]) -> List[ClientTask]:
+        """Declarative description of one round's local work (overridable)."""
+        return [
+            ClientTask(
+                client_index=index,
+                kind="train",
+                load="global",
+                epochs=self._local_epochs(index),
+            )
+            for index in sampled
+        ]
 
-        self.global_state = fedavg_average(states, weights)
+    def _aggregate(self, updates: List[ClientUpdate]) -> None:
+        states = [update.state for update in updates]
+        weights = [update.num_examples for update in updates]
+        # All-straggler corner: nobody processed an example, so there is no
+        # work to weight by — keep uniform weights instead of dividing by 0.
+        self.global_state = fedavg_average(
+            states, weights if sum(weights) > 0 else None
+        )
+
+    def _round(self, round_index: int, sampled: List[int]) -> RoundRecord:
+        updates = self.execute(self._train_tasks(sampled))
+        self._aggregate(updates)
         traffic = dense_exchange(self.total_params, len(sampled))
         return RoundRecord(
             round_index=round_index,
             sampled_clients=sampled,
-            train_loss=float(np.mean(losses)),
+            train_loss=float(np.mean([update.mean_loss for update in updates])),
             uploaded_bytes=traffic.uploaded_bytes,
             downloaded_bytes=traffic.downloaded_bytes,
         )
-
-    def _before_local(self, client) -> None:
-        """Hook for subclasses (FedProx installs its proximal anchor here)."""
 
 
 @register_trainer("fedprox", local_defaults={"prox_mu": 0.01})
@@ -70,16 +81,27 @@ class FedProx(FedAvg):
     """FedAvg plus a proximal term μ/2·‖w − w_g‖² in the local objective.
 
     The proximal gradient is added by the client when its
-    ``LocalTrainConfig.prox_mu`` is non-zero; this trainer pins the anchor
-    to the current global weights at the start of each round.
+    ``LocalTrainConfig.prox_mu`` is non-zero; each training task pins the
+    anchor to the current global weights at the start of the round.
     """
 
     algorithm_name = "fedprox"
 
-    def _before_local(self, client) -> None:
-        if client.config.prox_mu <= 0:
-            raise ValueError(
-                "FedProx requires clients configured with prox_mu > 0 "
-                f"(client {client.client_id} has {client.config.prox_mu})"
+    def _train_tasks(self, sampled: List[int]) -> List[ClientTask]:
+        for index in sampled:
+            client = self.clients[index]
+            if client.config.prox_mu <= 0:
+                raise ValueError(
+                    "FedProx requires clients configured with prox_mu > 0 "
+                    f"(client {client.client_id} has {client.config.prox_mu})"
+                )
+        return [
+            ClientTask(
+                client_index=index,
+                kind="train",
+                load="global",
+                anchor_global=True,
+                epochs=self._local_epochs(index),
             )
-        client.set_anchor(self.global_state)
+            for index in sampled
+        ]

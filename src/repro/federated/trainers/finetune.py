@@ -10,6 +10,9 @@ the recipe so the comparison can be run.
 Training is exactly FedAvg; at evaluation time each client downloads the
 global model and fine-tunes for ``finetune_epochs`` on its local data
 before testing.  The extra local compute is the method's documented cost.
+The evaluation task restores the client's model and data-order stream
+afterwards, so a mid-run ``evaluate_all`` leaves the federation exactly
+as it found it (and the tasks can run on any execution backend).
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ from typing import Callable, List
 
 from ...models.base import ConvNet
 from ..client import FederatedClient
+from ..execution import ClientTask
 from ..registry import register_trainer
 from .fedavg import FedAvg
 
@@ -37,14 +41,27 @@ class FedAvgFinetune(FedAvg):
         seed: int = 0,
         eval_every: int = 0,
         finetune_epochs: int = 1,
+        **backend_kwargs,
     ) -> None:
-        super().__init__(clients, model_fn, rounds, sample_fraction, seed, eval_every)
+        super().__init__(
+            clients,
+            model_fn,
+            rounds,
+            sample_fraction=sample_fraction,
+            seed=seed,
+            eval_every=eval_every,
+            **backend_kwargs,
+        )
         if finetune_epochs < 1:
             raise ValueError(f"finetune_epochs must be >= 1, got {finetune_epochs}")
         self.finetune_epochs = finetune_epochs
 
-    def _evaluate_client(self, client: FederatedClient) -> float:
+    def _eval_task(self, client_index: int) -> ClientTask:
         """Global model, personalized by a short local fine-tune (step two)."""
-        client.load_global(self.global_state)
-        client.train_local(epochs=self.finetune_epochs)
-        return client.test_accuracy()
+        return ClientTask(
+            client_index=client_index,
+            kind="evaluate",
+            load="global",
+            epochs=self.finetune_epochs,
+            restore=True,
+        )

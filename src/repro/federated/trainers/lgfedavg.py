@@ -16,6 +16,7 @@ from ...models.base import ConvNet
 from ..accounting.communication import partial_exchange
 from ..aggregation import partial_average
 from ..client import FederatedClient
+from ..execution import ClientTask
 from ..metrics import RoundRecord
 from ..registry import register_trainer
 from .base import FederatedTrainer
@@ -35,15 +36,24 @@ class LGFedAvg(FederatedTrainer):
         sample_fraction: float = 0.1,
         seed: int = 0,
         eval_every: int = 0,
+        **backend_kwargs,
     ) -> None:
-        super().__init__(clients, model_fn, rounds, sample_fraction, seed, eval_every)
+        super().__init__(
+            clients,
+            model_fn,
+            rounds,
+            sample_fraction=sample_fraction,
+            seed=seed,
+            eval_every=eval_every,
+            **backend_kwargs,
+        )
         probe = model_fn()
         shared_layers = probe.classifier_names
-        self.shared_names = [
+        self.shared_names = tuple(
             name
             for name in probe.state_dict()
             if any(name.startswith(layer + ".") for layer in shared_layers)
-        ]
+        )
         if not self.shared_names:
             raise ValueError("model exposes no classifier layers for LG-FedAvg to share")
         self.shared_params = int(
@@ -51,17 +61,19 @@ class LGFedAvg(FederatedTrainer):
         )
 
     def _round(self, round_index: int, sampled: List[int]) -> RoundRecord:
-        states = []
-        weights = []
-        losses = []
-        for index in sampled:
-            client = self.clients[index]
-            client.load_partial(self.global_state, self.shared_names)
-            result = client.train_local()
-            losses.append(result.mean_loss)
-            states.append(client.state_dict())
-            weights.append(result.num_examples)
-
+        updates = self.execute(
+            [
+                ClientTask(
+                    client_index=index,
+                    kind="train",
+                    load="partial",
+                    shared_names=self.shared_names,
+                )
+                for index in sampled
+            ]
+        )
+        states = [update.state for update in updates]
+        weights = [update.num_examples for update in updates]
         self.global_state = partial_average(
             states, self.shared_names, self.global_state, weights
         )
@@ -69,12 +81,17 @@ class LGFedAvg(FederatedTrainer):
         return RoundRecord(
             round_index=round_index,
             sampled_clients=sampled,
-            train_loss=float(np.mean(losses)),
+            train_loss=float(np.mean([update.mean_loss for update in updates])),
             uploaded_bytes=traffic.uploaded_bytes,
             downloaded_bytes=traffic.downloaded_bytes,
         )
 
-    def _evaluate_client(self, client: FederatedClient) -> float:
+    def _eval_task(self, client_index: int) -> ClientTask:
         """Personal model = personal representation + current global head."""
-        client.load_partial(self.global_state, self.shared_names)
-        return client.test_accuracy()
+        return ClientTask(
+            client_index=client_index,
+            kind="evaluate",
+            load="partial",
+            shared_names=self.shared_names,
+            restore=True,
+        )

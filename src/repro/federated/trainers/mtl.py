@@ -17,7 +17,7 @@ import numpy as np
 
 from ..accounting.communication import dense_exchange
 from ..aggregation import fedavg_average
-from ..client import FederatedClient
+from ..execution import ClientTask
 from ..metrics import RoundRecord
 from ..registry import register_trainer
 from .base import FederatedTrainer
@@ -30,7 +30,6 @@ class FedMTL(FederatedTrainer):
     algorithm_name = "mtl"
 
     def _round(self, round_index: int, sampled: List[int]) -> RoundRecord:
-        losses = []
         for index in sampled:
             client = self.clients[index]
             if client.config.mtl_lambda <= 0:
@@ -38,23 +37,26 @@ class FedMTL(FederatedTrainer):
                     "FedMTL requires clients configured with mtl_lambda > 0 "
                     f"(client {client.client_id} has {client.config.mtl_lambda})"
                 )
-            client.set_anchor(self.global_state)
-            result = client.train_local()
-            losses.append(result.mean_loss)
-
+        # Clients keep their personal model (no download); the broadcast w̄
+        # only enters through the mean-regularizer anchor.
+        updates = self.execute(
+            [
+                ClientTask(client_index=index, kind="train", anchor_global=True)
+                for index in sampled
+            ]
+        )
         # w̄ over the participants' personal models, broadcast next round.
-        states = [self.clients[index].state_dict() for index in sampled]
-        self.global_state = fedavg_average(states)
+        self.global_state = fedavg_average([update.state for update in updates])
         # Clients exchange their full personal model and receive w̄ back.
         traffic = dense_exchange(self.total_params, len(sampled))
         return RoundRecord(
             round_index=round_index,
             sampled_clients=sampled,
-            train_loss=float(np.mean(losses)),
+            train_loss=float(np.mean([update.mean_loss for update in updates])),
             uploaded_bytes=traffic.uploaded_bytes,
             downloaded_bytes=traffic.downloaded_bytes,
         )
 
-    def _evaluate_client(self, client: FederatedClient) -> float:
+    def _eval_task(self, client_index: int) -> ClientTask:
         """MTL clients are evaluated on their retained personal model."""
-        return client.test_accuracy()
+        return ClientTask(client_index=client_index, kind="evaluate", load="none")

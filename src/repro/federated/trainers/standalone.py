@@ -12,7 +12,7 @@ from typing import List
 
 import numpy as np
 
-from ..client import FederatedClient
+from ..execution import ClientTask
 from ..metrics import RoundRecord
 from ..registry import register_trainer
 from .base import FederatedTrainer
@@ -25,18 +25,17 @@ class Standalone(FederatedTrainer):
     algorithm_name = "standalone"
 
     def _round(self, round_index: int, sampled: List[int]) -> RoundRecord:
-        losses = []
-        for index in sampled:
-            result = self.clients[index].train_local()
-            losses.append(result.mean_loss)
+        updates = self.execute(
+            [ClientTask(client_index=index, kind="train") for index in sampled]
+        )
         return RoundRecord(
             round_index=round_index,
             sampled_clients=sampled,
-            train_loss=float(np.mean(losses)),
+            train_loss=float(np.mean([update.mean_loss for update in updates])),
             uploaded_bytes=0.0,
             downloaded_bytes=0.0,
         )
 
-    def _evaluate_client(self, client: FederatedClient) -> float:
+    def _eval_task(self, client_index: int) -> ClientTask:
         """Standalone clients are evaluated on their own local model."""
-        return client.test_accuracy()
+        return ClientTask(client_index=client_index, kind="evaluate", load="none")

@@ -10,6 +10,11 @@ Per round:
 3. the server aggregates with the intersection average (Sub-FedAvg),
 4. traffic is metered as 32-bit floats for kept coordinates plus 1-bit mask
    entries (§4.2.2's B convention).
+
+Step 2 is a batch of :class:`~repro.federated.execution.ClientTask` objects
+run on the trainer's execution backend; updates are reduced in sampled
+order, so serial and parallel rounds commit the same masks and produce the
+same aggregate.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from ...pruning import (
 from ..accounting.communication import sparse_exchange
 from ..aggregation import intersection_average, zero_fill_average
 from ..client import FederatedClient
+from ..execution import ClientTask
 from ..metrics import RoundRecord
 from ..registry import register_trainer
 from .base import FederatedTrainer
@@ -49,7 +55,8 @@ class SubFedAvgTrainer(FederatedTrainer):
 
     With ``track_trajectory=True`` every participating client logs a
     :class:`TrajectoryPoint` after its local update — the (pruning %, test
-    accuracy) trajectory the paper's Figure 1 plots per client.
+    accuracy) trajectory the paper's Figure 1 plots per client.  Points are
+    recorded in sampled order whatever the execution backend.
     """
 
     algorithm_name = "sub-fedavg"
@@ -66,8 +73,17 @@ class SubFedAvgTrainer(FederatedTrainer):
         eval_every: int = 0,
         aggregator: str = "intersection",
         track_trajectory: bool = False,
+        **backend_kwargs,
     ) -> None:
-        super().__init__(clients, model_fn, rounds, sample_fraction, seed, eval_every)
+        super().__init__(
+            clients,
+            model_fn,
+            rounds,
+            sample_fraction=sample_fraction,
+            seed=seed,
+            eval_every=eval_every,
+            **backend_kwargs,
+        )
         if aggregator not in ("intersection", "zerofill"):
             raise ValueError(
                 f"aggregator must be 'intersection' or 'zerofill', got {aggregator!r}"
@@ -85,37 +101,44 @@ class SubFedAvgTrainer(FederatedTrainer):
 
     # ------------------------------------------------------------------
     def _round(self, round_index: int, sampled: List[int]) -> RoundRecord:
-        states = []
-        masks = []
-        losses = []
+        # Downlink size depends on the mask committed *before* this round's
+        # local update, so meter it while building the task list.
+        kept_down = [
+            self._kept_params(self.clients[index].mask) for index in sampled
+        ]
+        updates = self.execute(
+            [
+                ClientTask(
+                    client_index=index,
+                    kind="train",
+                    load="global",
+                    want_trajectory=self.track_trajectory,
+                )
+                for index in sampled
+            ]
+        )
+
+        states = [update.state for update in updates]
+        masks = [update.mask for update in updates]
         uploaded = 0.0
         downloaded = 0.0
-        for index in sampled:
-            client = self.clients[index]
-            mask_before = client.mask
-            kept_down = self._kept_params(mask_before)
-            client.load_global(self.global_state)
-            result = client.train_local()
-            losses.append(result.mean_loss)
-            mask_after = client.mask
-            states.append(client.state_dict())
-            masks.append(mask_after)
-            kept_up = self._kept_params(mask_after)
+        for update, down in zip(updates, kept_down):
             traffic = sparse_exchange(
-                kept_params=kept_up,
-                total_mask_bits=mask_after.total(),
-                num_params_down=kept_down,
+                kept_params=self._kept_params(update.mask),
+                total_mask_bits=update.mask.total(),
+                num_params_down=down,
             )
             uploaded += traffic.uploaded_bytes
             downloaded += traffic.downloaded_bytes
-            if self.track_trajectory:
+        if self.track_trajectory:
+            for update in updates:
                 self.trajectory.append(
                     TrajectoryPoint(
                         round_index=round_index,
-                        client_id=client.client_id,
-                        sparsity=client.controller.unstructured_sparsity(),
-                        channel_sparsity=client.controller.channel_sparsity(),
-                        test_accuracy=client.test_accuracy(),
+                        client_id=update.client_id,
+                        sparsity=update.sparsity,
+                        channel_sparsity=update.channel_sparsity,
+                        test_accuracy=update.accuracy,
                     )
                 )
 
@@ -129,7 +152,7 @@ class SubFedAvgTrainer(FederatedTrainer):
         return RoundRecord(
             round_index=round_index,
             sampled_clients=sampled,
-            train_loss=float(np.mean(losses)),
+            train_loss=float(np.mean([update.mean_loss for update in updates])),
             sampled_accuracy=self.evaluate_sampled(sampled),
             mean_sparsity=float(np.mean(sparsities)),
             mean_channel_sparsity=float(np.mean(channel_sparsities)),
@@ -173,6 +196,7 @@ class SubFedAvgUn(SubFedAvgTrainer):
         eval_every: int = 0,
         aggregator: str = "intersection",
         track_trajectory: bool = False,
+        **backend_kwargs,
     ) -> None:
         super().__init__(
             clients,
@@ -185,6 +209,7 @@ class SubFedAvgUn(SubFedAvgTrainer):
             eval_every=eval_every,
             aggregator=aggregator,
             track_trajectory=track_trajectory,
+            **backend_kwargs,
         )
 
 
@@ -206,6 +231,7 @@ class SubFedAvgHy(SubFedAvgTrainer):
         eval_every: int = 0,
         aggregator: str = "intersection",
         track_trajectory: bool = False,
+        **backend_kwargs,
     ) -> None:
         super().__init__(
             clients,
@@ -218,4 +244,5 @@ class SubFedAvgHy(SubFedAvgTrainer):
             eval_every=eval_every,
             aggregator=aggregator,
             track_trajectory=track_trajectory,
+            **backend_kwargs,
         )

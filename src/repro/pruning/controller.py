@@ -228,6 +228,33 @@ class PruningController:
             params[name].data[...] = init_value * self.un_mask[name]
 
     # ------------------------------------------------------------------
+    # Serialization (process-backend sync, checkpointing)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Picklable snapshot of the mutable pruning state.
+
+        Captures committed masks, current rates and the decision history —
+        everything a round of training may change.  Configs and the
+        ``theta_0`` rewind snapshot are construction-time constants and are
+        not included.
+        """
+        return {
+            "un_mask": self.un_mask.copy(),
+            "ch_mask": self.ch_mask.copy(),
+            "un_rate": self.un_rate,
+            "st_rate": self.st_rate,
+            "history": list(self.history),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot taken with :meth:`state_dict`."""
+        self.un_mask = state["un_mask"].copy()
+        self.ch_mask = state["ch_mask"].copy()
+        self.un_rate = state["un_rate"]
+        self.st_rate = state["st_rate"]
+        self.history = list(state["history"])
+
+    # ------------------------------------------------------------------
     # Combined mask view
     # ------------------------------------------------------------------
     def combined_mask(self) -> MaskSet:

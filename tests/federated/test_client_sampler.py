@@ -39,9 +39,12 @@ class TestLocalTraining:
         assert last < first
 
     def test_result_counts_examples(self, rng):
-        client = make_client(rng)
+        """num_examples reflects the work actually done: epochs × dataset."""
+        client = make_client(rng)  # configured for 2 local epochs
         result = client.train_local()
-        assert result.num_examples == len(client.data.train)
+        assert result.num_examples == 2 * len(client.data.train)
+        assert client.train_local(epochs=1).num_examples == len(client.data.train)
+        assert client.train_local(epochs=0).num_examples == 0
 
     def test_learns_separable_task(self, rng):
         client = make_client(rng, epochs=10)

@@ -1,0 +1,284 @@
+"""Execution-backend subsystem: tasks, backends and equivalence guarantees.
+
+The core contract under test: serial, thread and process backends run the
+same federation to the *bit-identical* History — losses, accuracies,
+masks — and callbacks fire in deterministic round order regardless of how
+client tasks are scheduled.
+"""
+
+import numpy as np
+import pytest
+
+from repro.federated import (
+    Callback,
+    ClientTask,
+    Federation,
+    FederationConfig,
+    LocalTrainConfig,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_backends,
+    resolve_backend,
+)
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def small_config(algorithm, backend, **overrides):
+    defaults = dict(
+        dataset="mnist",
+        algorithm=algorithm,
+        num_clients=6,
+        rounds=2,
+        sample_fraction=0.5,
+        n_train=240,
+        n_test=120,
+        seed=0,
+        eval_every=1,
+        backend=backend,
+        workers=2,
+        local=LocalTrainConfig(epochs=1, batch_size=10),
+    )
+    defaults.update(overrides)
+    return FederationConfig(**defaults)
+
+
+def run_federation(algorithm, backend, **overrides):
+    federation = Federation.from_config(small_config(algorithm, backend, **overrides))
+    history = federation.run()
+    return history, federation
+
+
+def assert_histories_identical(reference, other, context=""):
+    assert len(reference.rounds) == len(other.rounds), context
+    for a, b in zip(reference.rounds, other.rounds):
+        assert a.sampled_clients == b.sampled_clients, context
+        assert a.train_loss == b.train_loss, (context, a.round_index)
+        assert a.mean_accuracy == b.mean_accuracy, (context, a.round_index)
+        assert a.sampled_accuracy == b.sampled_accuracy, (context, a.round_index)
+        assert a.mean_sparsity == b.mean_sparsity, (context, a.round_index)
+        assert a.mean_channel_sparsity == b.mean_channel_sparsity, context
+        assert a.uploaded_bytes == b.uploaded_bytes, context
+        assert a.downloaded_bytes == b.downloaded_bytes, context
+    assert reference.final_accuracy == other.final_accuracy, context
+    assert reference.final_per_client_accuracy == other.final_per_client_accuracy
+
+
+class TestBackendResolution:
+    def test_available_backends(self):
+        assert set(available_backends()) == {"serial", "thread", "process"}
+
+    def test_resolve_by_name(self):
+        assert isinstance(resolve_backend("serial"), SerialBackend)
+        assert isinstance(resolve_backend("thread", workers=3), ThreadBackend)
+        assert isinstance(resolve_backend("process", workers=2), ProcessBackend)
+
+    def test_resolve_passthrough_and_none(self):
+        backend = ThreadBackend(workers=2)
+        assert resolve_backend(backend) is backend
+        assert isinstance(resolve_backend(None), SerialBackend)
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(KeyError):
+            resolve_backend("gpu-cluster")
+
+    def test_worker_defaults(self):
+        assert ThreadBackend(workers=0).workers >= 1
+        assert ThreadBackend(workers=5).workers == 5
+
+
+class TestClientTask:
+    def test_validates_kind_and_load(self):
+        with pytest.raises(ValueError):
+            ClientTask(client_index=0, kind="dance")
+        with pytest.raises(ValueError):
+            ClientTask(client_index=0, load="everything")
+        with pytest.raises(ValueError):
+            ClientTask(client_index=0, load="partial")  # shared_names missing
+
+    def test_tasks_are_picklable(self):
+        import pickle
+
+        task = ClientTask(
+            client_index=3, kind="train", load="partial", shared_names=("fc3.weight",)
+        )
+        assert pickle.loads(pickle.dumps(task)) == task
+
+
+class TestConfigPlumbing:
+    def test_backend_round_trips_through_json(self):
+        config = small_config("fedavg", "thread")
+        restored = FederationConfig.from_json(config.to_json())
+        assert restored == config
+        assert restored.backend == "thread"
+        assert restored.workers == 2
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(KeyError):
+            small_config("fedavg", "quantum")
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            small_config("fedavg", "thread", workers=-1)
+
+    def test_trainer_carries_backend(self):
+        _, federation = run_federation("standalone", "thread", rounds=1, eval_every=0)
+        assert isinstance(federation.trainer.backend, ThreadBackend)
+        assert federation.trainer.backend.workers == 2
+
+
+class TestBackendEquivalence:
+    """Serial vs thread vs process runs produce identical histories."""
+
+    @pytest.mark.parametrize("backend", ("thread", "process"))
+    def test_fedavg_history_identical(self, backend):
+        reference, ref_fed = run_federation("fedavg", "serial")
+        candidate, cand_fed = run_federation("fedavg", backend)
+        assert_histories_identical(reference, candidate, f"fedavg/{backend}")
+        for name in ref_fed.trainer.global_state:
+            assert np.array_equal(
+                ref_fed.trainer.global_state[name],
+                cand_fed.trainer.global_state[name],
+            ), name
+
+    @pytest.mark.parametrize("backend", ("thread", "process"))
+    def test_subfedavg_history_and_masks_identical(self, backend):
+        reference, ref_fed = run_federation("sub-fedavg-un", "serial")
+        candidate, cand_fed = run_federation("sub-fedavg-un", backend)
+        assert_histories_identical(reference, candidate, f"sub-fedavg/{backend}")
+        for ref_client, cand_client in zip(ref_fed.clients, cand_fed.clients):
+            assert ref_client.mask == cand_client.mask
+            assert (
+                ref_client.controller.un_rate == cand_client.controller.un_rate
+            )
+
+    @pytest.mark.parametrize(
+        "algorithm", ("lg-fedavg", "mtl", "standalone", "fedavg-ft")
+    )
+    def test_remaining_trainers_thread_identical(self, algorithm):
+        reference, _ = run_federation(algorithm, "serial")
+        candidate, _ = run_federation(algorithm, "thread")
+        assert_histories_identical(reference, candidate, f"{algorithm}/thread")
+
+
+class RecordingCallback(Callback):
+    def __init__(self):
+        self.events = []
+
+    def on_run_start(self, trainer):
+        self.events.append(("run_start", None))
+
+    def on_round_start(self, trainer, round_index, sampled):
+        self.events.append(("round_start", round_index))
+
+    def on_evaluate(self, trainer, round_index, accuracy):
+        self.events.append(("evaluate", round_index))
+
+    def on_round_end(self, trainer, round_index, record):
+        self.events.append(("round_end", round_index))
+
+    def on_run_end(self, trainer, history):
+        self.events.append(("run_end", None))
+
+
+class TestCallbackOrdering:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_callbacks_fire_in_round_order(self, backend):
+        callback = RecordingCallback()
+        federation = Federation.from_config(small_config("fedavg", backend))
+        federation.run(callbacks=[callback])
+        assert callback.events == [
+            ("run_start", None),
+            ("round_start", 1),
+            ("evaluate", 1),
+            ("round_end", 1),
+            ("round_start", 2),
+            ("evaluate", 2),
+            ("round_end", 2),
+            ("run_end", None),
+        ]
+
+
+class TestSideEffectFreeEvaluation:
+    """Mid-run evaluate_all must not clobber client-local models."""
+
+    @pytest.mark.parametrize("algorithm", ("fedavg", "fedavg-ft", "sub-fedavg-un"))
+    def test_evaluate_all_preserves_client_state(self, algorithm):
+        federation = Federation.from_config(
+            small_config(algorithm, "serial", rounds=1, eval_every=0)
+        )
+        trainer = federation.trainer
+        trainer._round(1, trainer.sampler.sample())
+        before = [client.state_dict() for client in federation.clients]
+        rng_before = [client.rng_state() for client in federation.clients]
+        trainer.evaluate_all()
+        for client, state, rng in zip(federation.clients, before, rng_before):
+            after = client.state_dict()
+            for name in state:
+                assert np.array_equal(state[name], after[name]), (
+                    algorithm,
+                    client.client_id,
+                    name,
+                )
+            assert client.rng_state() == rng
+
+    def test_evaluate_all_deterministic_repeat(self):
+        federation = Federation.from_config(
+            small_config("fedavg-ft", "serial", rounds=1, eval_every=0)
+        )
+        trainer = federation.trainer
+        trainer._round(1, trainer.sampler.sample())
+        assert trainer.evaluate_all() == trainer.evaluate_all()
+
+
+class TestStragglerWeighting:
+    """A client that did no local work must not drag the average."""
+
+    def test_zero_epoch_client_reports_zero_examples(self):
+        federation = Federation.from_config(
+            small_config("fedavg", "serial", rounds=1, eval_every=0)
+        )
+        client = federation.clients[0]
+        result = client.train_local(epochs=0)
+        assert result.num_examples == 0
+
+    def test_num_examples_counts_work_done(self):
+        federation = Federation.from_config(
+            small_config("fedavg", "serial", rounds=1, eval_every=0)
+        )
+        client = federation.clients[0]
+        result = client.train_local(epochs=3)
+        assert result.num_examples == 3 * len(client.data.train)
+
+    def test_zero_epoch_straggler_excluded_from_average(self):
+        class ZeroFirst:
+            """Straggler model granting client 0 no epochs at all."""
+
+            def epochs_for(self, client_index):
+                return 0 if client_index == 0 else 2
+
+        from repro.federated.builder import make_clients, model_factory
+        from repro.federated.trainers.fedavg import FedAvg
+
+        config = small_config("fedavg", "serial", rounds=1, eval_every=0)
+        clients = make_clients(config)
+        trainer = FedAvg(
+            clients,
+            model_factory(config),
+            rounds=1,
+            sample_fraction=1.0,
+            seed=0,
+            stragglers=ZeroFirst(),
+        )
+        stale = clients[0].state_dict()
+        trainer._round(1, list(range(len(clients))))
+
+        # Recompute the expected average from the workers only.
+        worked = [clients[i] for i in range(1, len(clients))]
+        expected = np.mean(
+            [c.state_dict()["conv1.weight"] for c in worked], axis=0
+        )
+        # Uniform data sizes and epochs: average of the workers' states.
+        assert np.allclose(trainer.global_state["conv1.weight"], expected)
+        assert not np.allclose(trainer.global_state["conv1.weight"], stale["conv1.weight"])
