@@ -6,6 +6,8 @@ Usage::
     python -m repro run    --dataset mnist --algorithm sub-fedavg-un --preset smoke
     python -m repro run    --config run.json
     python -m repro run    --backend thread --workers 4
+    python -m repro sweep  --grid smoke --jobs 2 --out sweep-results
+    python -m repro sweep  --grid table1 --dataset mnist --resume --export-json sweep.json
     python -m repro table1 --dataset mnist --preset smoke
     python -m repro table2 --dataset cifar10
     python -m repro fig2   --dataset mnist --preset smoke
@@ -34,19 +36,31 @@ from typing import List, Optional
 from .data.synthetic import SPECS
 from .experiments import (
     PRESETS,
+    ResultStore,
+    SweepRunner,
+    aggregation_spec,
     ascii_plot,
+    export_results,
     federation_config,
+    fig2_spec,
+    fig3_spec,
+    gate_spec,
     get_preset,
     fig2_series,
     fig3_series,
     format_table1,
     format_table2,
+    heterogeneity_spec,
+    pruning_step_spec,
     rounds_to_target,
     run_convergence,
     run_sparsity_sweep,
     run_table1,
     run_table2,
+    smoke_spec,
+    table1_spec,
 )
+from .experiments.sweep import SWEEP_EXECUTORS
 from .federated import (
     Federation,
     FederationConfig,
@@ -108,6 +122,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker count for thread/process backends (default: cpu count)",
     )
     run_cmd.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a grid of experiment cells in parallel, resumably"
+    )
+    common(sweep)
+    sweep.add_argument(
+        "--grid",
+        choices=tuple(SWEEP_GRIDS),
+        default="smoke",
+        help="which declarative grid to expand and run",
+    )
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="concurrent cells (0 = one per CPU core)",
+    )
+    sweep.add_argument(
+        "--executor",
+        choices=SWEEP_EXECUTORS,
+        default=None,
+        help="how cells run (default: process where fork exists, else thread)",
+    )
+    sweep.add_argument(
+        "--out",
+        default="sweep-results",
+        help="result-store directory (one JSON per cell, keyed by config hash)",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse cells already in the store instead of recomputing them",
+    )
+    sweep.add_argument(
+        "--export-json",
+        help="also write one merged JSON document of every cell result here",
+    )
+    sweep.set_defaults(func=_cmd_sweep)
 
     table1 = sub.add_parser("table1", help="regenerate Table 1")
     common(table1)
@@ -198,6 +250,79 @@ def _cmd_run(args) -> int:
     if args.save:
         save_history(args.save, history)
         print(f"  history saved to {args.save}")
+    return 0
+
+
+#: Named sweep grids: CLI name -> SweepSpec builder over the parsed args.
+SWEEP_GRIDS = {
+    "smoke": lambda args: smoke_spec(seed=args.seed),
+    "table1": lambda args: table1_spec(args.dataset, preset=args.preset, seed=args.seed),
+    "fig2": lambda args: fig2_spec(args.dataset, preset=args.preset, seed=args.seed),
+    "fig3": lambda args: fig3_spec(args.dataset, preset=args.preset, seed=args.seed),
+    "ablate-aggregation": lambda args: aggregation_spec(
+        args.dataset, preset=args.preset, seed=args.seed
+    ),
+    "ablate-gate": lambda args: gate_spec(
+        args.dataset, preset=args.preset, seed=args.seed
+    ),
+    "ablate-heterogeneity": lambda args: heterogeneity_spec(
+        args.dataset, preset=args.preset, seed=args.seed
+    ),
+    "ablate-step": lambda args: pruning_step_spec(
+        args.dataset, preset=args.preset, seed=args.seed
+    ),
+}
+
+
+def _default_sweep_executor() -> str:
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    return "process" if "fork" in methods else "thread"
+
+
+def _cmd_sweep(args) -> int:
+    if args.grid == "smoke" and (args.dataset != "mnist" or args.preset != "smoke"):
+        print(
+            "note: the smoke grid is fixed (mnist+emnist at the smoke preset); "
+            "--dataset/--preset are ignored",
+            file=sys.stderr,
+        )
+    spec = SWEEP_GRIDS[args.grid](args)
+    executor = args.executor or _default_sweep_executor()
+    runner = SweepRunner(
+        spec,
+        store=ResultStore(args.out),
+        jobs=args.jobs,
+        executor=executor,
+        resume=args.resume,
+    )
+    result = runner.run()
+    for cell_result in result.ordered():
+        if cell_result.error is not None:
+            status = "FAILED"
+        elif cell_result.cached:
+            status = "cached"
+        else:
+            status = f"{cell_result.elapsed_seconds:6.1f}s"
+        accuracy = (
+            f"acc={cell_result.history.final_accuracy:.4f}"
+            if cell_result.ok and cell_result.history.final_accuracy is not None
+            else ""
+        )
+        print(f"  [{status:>7s}] {cell_result.key} {accuracy}")
+    print(
+        f"sweep {spec.name!r}: executed {len(result.executed)} cells, "
+        f"reused {len(result.reused)} cached, {len(result.failed)} failed "
+        f"(jobs={runner.jobs}, executor={executor}, store={args.out})"
+    )
+    if args.export_json:
+        Path(args.export_json).write_text(export_results(result.ordered()))
+        print(f"merged results exported to {args.export_json}")
+    if result.failed:
+        for key, error in result.failed.items():
+            print(f"--- {key} ---\n{error}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -11,7 +11,7 @@ sweeps trace the whole range).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 

@@ -8,7 +8,7 @@ generator so augmented runs stay reproducible.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

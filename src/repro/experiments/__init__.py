@@ -1,8 +1,35 @@
-"""Experiment drivers reproducing every table and figure of the paper."""
+"""Experiment drivers reproducing every table and figure of the paper.
+
+Every multi-run artifact declares its grid as a
+:class:`~repro.experiments.sweep.SweepSpec`; the sweep engine
+(:class:`~repro.experiments.sweep.SweepRunner`) executes the cells in
+parallel and caches them in a :class:`~repro.experiments.sweep.ResultStore`
+for resumable reruns (``python -m repro sweep``).
+"""
 
 from .presets import PRESETS, ScalePreset, get_preset
 from .runner import federation_config, format_table, run_algorithm
-from .table1 import Table1Row, format_table1, run_table1
+from .sweep import (
+    CellResult,
+    ResultStore,
+    SweepCell,
+    SweepError,
+    SweepResult,
+    SweepRunner,
+    SweepSpec,
+    Variant,
+    export_results,
+    run_sweep,
+    smoke_spec,
+)
+from .table1 import (
+    Table1Row,
+    format_table1,
+    run_table1,
+    table1_rows,
+    table1_spec,
+    table1_variants,
+)
 from .table2 import Table2Row, format_table2, run_table2, uniform_channel_mask
 from .ablations import (
     AblationResult,
@@ -10,13 +37,20 @@ from .ablations import (
     ablate_heterogeneity,
     ablate_mask_distance_gate,
     ablate_pruning_step,
+    aggregation_spec,
+    gate_spec,
+    heterogeneity_spec,
+    pruning_step_spec,
 )
 from .figures import (
     SparsitySweepPoint,
     ascii_plot,
     fig1_series,
+    fig1_spec,
     fig2_series,
+    fig2_spec,
     fig3_series,
+    fig3_spec,
     rounds_to_target,
     run_convergence,
     run_fig1_trajectory,
@@ -30,9 +64,23 @@ __all__ = [
     "run_algorithm",
     "federation_config",
     "format_table",
+    "CellResult",
+    "ResultStore",
+    "SweepCell",
+    "SweepError",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "Variant",
+    "export_results",
+    "run_sweep",
+    "smoke_spec",
     "Table1Row",
     "run_table1",
     "format_table1",
+    "table1_rows",
+    "table1_spec",
+    "table1_variants",
     "Table2Row",
     "run_table2",
     "format_table2",
@@ -40,7 +88,10 @@ __all__ = [
     "SparsitySweepPoint",
     "run_sparsity_sweep",
     "fig1_series",
+    "fig1_spec",
     "fig2_series",
+    "fig2_spec",
+    "fig3_spec",
     "run_convergence",
     "run_fig1_trajectory",
     "fig3_series",
@@ -51,4 +102,8 @@ __all__ = [
     "ablate_mask_distance_gate",
     "ablate_heterogeneity",
     "ablate_pruning_step",
+    "aggregation_spec",
+    "gate_spec",
+    "heterogeneity_spec",
+    "pruning_step_spec",
 ]

@@ -11,17 +11,20 @@ Four ablations, each isolating one mechanism the paper relies on:
   pathological.  Sub-FedAvg's advantage over FedAvg should grow as α drops.
 * **Pruning-step sensitivity** — per-commit increment r_us from cautious to
   aggressive at a fixed target (the paper iterates 5-10% per event).
+
+Every ablation grid is declared as a
+:class:`~repro.experiments.sweep.SweepSpec` and executed through the sweep
+engine, so cells run in parallel (``jobs=``/``executor=``) and are cached
+in a :class:`~repro.experiments.sweep.ResultStore` when one is supplied.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, List, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
-from ..federated import Federation, FederationConfig
 from ..pruning import UnstructuredConfig
-from .presets import get_preset
-from .runner import federation_config, run_algorithm
+from .sweep import CellResult, ResultStore, SweepSpec, Variant, run_sweep
 
 
 @dataclass
@@ -34,54 +37,122 @@ class AblationResult:
     communication_gb: float
 
 
-def _run_subfedavg_with(
-    config: FederationConfig, aggregator: str, unstructured: UnstructuredConfig
-) -> tuple:
-    federation = Federation.from_config(
-        replace(config, unstructured=unstructured), aggregator=aggregator
+def _ablation_result(result: CellResult) -> AblationResult:
+    history = result.history
+    return AblationResult(
+        variant=result.tags["variant"],
+        accuracy=history.final_accuracy or 0.0,
+        sparsity=result.extras.get("mean_unstructured_sparsity", 0.0),
+        communication_gb=history.total_communication_gb,
     )
-    history = federation.run()
-    return federation.trainer, history
+
+
+def _run_ablation_spec(
+    spec: SweepSpec,
+    jobs: int = 1,
+    executor: str = "serial",
+    store: Optional[ResultStore] = None,
+) -> List[AblationResult]:
+    sweep = run_sweep(spec, store=store, jobs=jobs, executor=executor)
+    sweep.raise_failures()
+    return [_ablation_result(result) for result in sweep.ordered()]
+
+
+def aggregation_spec(
+    dataset: str = "mnist", preset: str = "smoke", seed: int = 0
+) -> SweepSpec:
+    """Intersection average vs naive zero-filling mean, as a sweep grid."""
+    pruning = UnstructuredConfig(target_rate=0.5, step=0.2)
+    return SweepSpec(
+        name="ablate-aggregation",
+        datasets=(dataset,),
+        algorithms=tuple(
+            Variant(
+                label=aggregator,
+                algorithm="sub-fedavg-un",
+                unstructured=pruning,
+                trainer_overrides={"aggregator": aggregator},
+            )
+            for aggregator in ("intersection", "zerofill")
+        ),
+        seeds=(seed,),
+        preset=preset,
+    )
 
 
 def ablate_aggregation(
-    dataset: str = "mnist", preset: str = "smoke", seed: int = 0
+    dataset: str = "mnist",
+    preset: str = "smoke",
+    seed: int = 0,
+    jobs: int = 1,
+    executor: str = "serial",
+    store: Optional[ResultStore] = None,
 ) -> List[AblationResult]:
     """Intersection average vs naive zero-filling mean."""
-    base = federation_config(dataset, "sub-fedavg-un", get_preset(preset), seed=seed)
-    pruning = UnstructuredConfig(target_rate=0.5, step=0.2)
-    results = []
-    for aggregator in ("intersection", "zerofill"):
-        trainer, history = _run_subfedavg_with(base, aggregator, pruning)
-        results.append(
-            AblationResult(
-                variant=aggregator,
-                accuracy=history.final_accuracy or 0.0,
-                sparsity=trainer.mean_unstructured_sparsity(),
-                communication_gb=history.total_communication_gb,
+    spec = aggregation_spec(dataset, preset=preset, seed=seed)
+    return _run_ablation_spec(spec, jobs=jobs, executor=executor, store=store)
+
+
+def gate_spec(
+    dataset: str = "mnist", preset: str = "smoke", seed: int = 0
+) -> SweepSpec:
+    """The ε mask-distance gate vs pruning unconditionally (ε = 0)."""
+    return SweepSpec(
+        name="ablate-gate",
+        datasets=(dataset,),
+        algorithms=tuple(
+            Variant(
+                label=label,
+                algorithm="sub-fedavg-un",
+                unstructured=UnstructuredConfig(
+                    target_rate=0.5, step=0.2, epsilon=epsilon
+                ),
             )
-        )
-    return results
+            for label, epsilon in (("gated (paper eps)", 1e-4), ("ungated (eps=0)", 0.0))
+        ),
+        seeds=(seed,),
+        preset=preset,
+    )
 
 
 def ablate_mask_distance_gate(
-    dataset: str = "mnist", preset: str = "smoke", seed: int = 0
+    dataset: str = "mnist",
+    preset: str = "smoke",
+    seed: int = 0,
+    jobs: int = 1,
+    executor: str = "serial",
+    store: Optional[ResultStore] = None,
 ) -> List[AblationResult]:
     """The ε mask-distance gate vs pruning unconditionally (ε = 0)."""
-    base = federation_config(dataset, "sub-fedavg-un", get_preset(preset), seed=seed)
-    results = []
-    for variant, epsilon in (("gated (paper eps)", 1e-4), ("ungated (eps=0)", 0.0)):
-        pruning = UnstructuredConfig(target_rate=0.5, step=0.2, epsilon=epsilon)
-        trainer, history = _run_subfedavg_with(base, "intersection", pruning)
-        results.append(
-            AblationResult(
-                variant=variant,
-                accuracy=history.final_accuracy or 0.0,
-                sparsity=trainer.mean_unstructured_sparsity(),
-                communication_gb=history.total_communication_gb,
-            )
-        )
-    return results
+    spec = gate_spec(dataset, preset=preset, seed=seed)
+    return _run_ablation_spec(spec, jobs=jobs, executor=executor, store=store)
+
+
+def heterogeneity_spec(
+    dataset: str = "mnist",
+    alphas: Sequence[float] = (0.1, 0.5, 5.0),
+    preset: str = "smoke",
+    seed: int = 0,
+) -> SweepSpec:
+    """Dirichlet(α) × {Sub-FedAvg, FedAvg} as a two-axis sweep grid."""
+    return SweepSpec(
+        name="ablate-heterogeneity",
+        datasets=(dataset,),
+        algorithms=(
+            Variant(
+                label="sub-fedavg-un",
+                algorithm="sub-fedavg-un",
+                unstructured=UnstructuredConfig(target_rate=0.5, step=0.2),
+            ),
+            "fedavg",
+        ),
+        seeds=(seed,),
+        preset=preset,
+        base={"partition": "dirichlet"},
+        overrides={
+            f"alpha={alpha:g}": {"dirichlet_alpha": alpha} for alpha in alphas
+        },
+    )
 
 
 def ablate_heterogeneity(
@@ -89,29 +160,49 @@ def ablate_heterogeneity(
     alphas: Sequence[float] = (0.1, 0.5, 5.0),
     preset: str = "smoke",
     seed: int = 0,
+    jobs: int = 1,
+    executor: str = "serial",
+    store: Optional[ResultStore] = None,
 ) -> Dict[float, Dict[str, float]]:
     """Dirichlet(α) sweep: Sub-FedAvg vs FedAvg accuracy per heterogeneity level.
 
     Returns ``{alpha: {"sub-fedavg-un": acc, "fedavg": acc}}``.
     """
-    results: Dict[float, Dict[str, float]] = {}
-    for alpha in alphas:
-        cell: Dict[str, float] = {}
-        for algorithm in ("sub-fedavg-un", "fedavg"):
-            history = run_algorithm(
-                dataset,
-                algorithm,
-                preset,
-                seed=seed,
-                partition="dirichlet",
-                dirichlet_alpha=alpha,
-                unstructured=UnstructuredConfig(target_rate=0.5, step=0.2)
-                if algorithm == "sub-fedavg-un"
-                else None,
-            )
-            cell[algorithm] = history.final_accuracy or 0.0
-        results[alpha] = cell
+    spec = heterogeneity_spec(dataset, alphas=alphas, preset=preset, seed=seed)
+    sweep = run_sweep(spec, store=store, jobs=jobs, executor=executor)
+    sweep.raise_failures()
+    results: Dict[float, Dict[str, float]] = {alpha: {} for alpha in alphas}
+    for result in sweep.ordered():
+        alpha = result.config.dirichlet_alpha
+        results[alpha][result.tags["variant"]] = (
+            result.history.final_accuracy or 0.0
+        )
     return results
+
+
+def pruning_step_spec(
+    dataset: str = "mnist",
+    steps: Sequence[float] = (0.05, 0.1, 0.25, 0.5),
+    preset: str = "smoke",
+    seed: int = 0,
+) -> SweepSpec:
+    """Sensitivity to the per-commit pruning increment r_us."""
+    return SweepSpec(
+        name="ablate-step",
+        datasets=(dataset,),
+        algorithms=tuple(
+            Variant(
+                label=f"step={step:.2f}",
+                algorithm="sub-fedavg-un",
+                unstructured=UnstructuredConfig(
+                    target_rate=0.5, step=step, epsilon=0.0
+                ),
+            )
+            for step in steps
+        ),
+        seeds=(seed,),
+        preset=preset,
+    )
 
 
 def ablate_pruning_step(
@@ -119,19 +210,10 @@ def ablate_pruning_step(
     steps: Sequence[float] = (0.05, 0.1, 0.25, 0.5),
     preset: str = "smoke",
     seed: int = 0,
+    jobs: int = 1,
+    executor: str = "serial",
+    store: Optional[ResultStore] = None,
 ) -> List[AblationResult]:
     """Sensitivity to the per-commit pruning increment r_us."""
-    base = federation_config(dataset, "sub-fedavg-un", get_preset(preset), seed=seed)
-    results = []
-    for step in steps:
-        pruning = UnstructuredConfig(target_rate=0.5, step=step, epsilon=0.0)
-        trainer, history = _run_subfedavg_with(base, "intersection", pruning)
-        results.append(
-            AblationResult(
-                variant=f"step={step:.2f}",
-                accuracy=history.final_accuracy or 0.0,
-                sparsity=trainer.mean_unstructured_sparsity(),
-                communication_gb=history.total_communication_gb,
-            )
-        )
-    return results
+    spec = pruning_step_spec(dataset, steps=steps, preset=preset, seed=seed)
+    return _run_ablation_spec(spec, jobs=jobs, executor=executor, store=store)

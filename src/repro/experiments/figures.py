@@ -9,18 +9,30 @@ removed) and degrades past ~50% (personal parameters start to go).
 
 Figure 3 — mean personalized accuracy against communication round for
 Sub-FedAvg (Un) vs FedAvg / LG-FedAvg / MTL.
+
+Each figure's grid is declared as a
+:class:`~repro.experiments.sweep.SweepSpec` (:func:`fig2_spec`,
+:func:`fig3_spec`) and rendered from sweep results, so the sweeps run in
+parallel (``jobs=``/``executor=``) and resume from a result store.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..federated import History
 from ..pruning import UnstructuredConfig
-from .runner import run_algorithm
+from .sweep import ResultStore, SweepSpec, Variant, run_sweep
+
+
+#: Mask distances are normalized to [0, 1], so a gate of 2.0 can never
+#: pass — the dense-reference "never prune" config in a finite form that
+#: stays strict-JSON portable (``Infinity`` is not valid RFC 8259 JSON,
+#: and the result store / CI artifact must parse outside Python).
+DENSE_GATE_EPSILON = 2.0
 
 
 @dataclass
@@ -33,28 +45,61 @@ class SparsitySweepPoint:
     per_client_accuracy: Dict[int, float] = field(default_factory=dict)
 
 
+def fig2_spec(
+    dataset: str,
+    targets: Sequence[float] = (0.0, 0.1, 0.3, 0.5, 0.7, 0.9),
+    preset: str = "smoke",
+    seed: int = 0,
+    step: float = 0.1,
+) -> SweepSpec:
+    """Declare the Figures 1-2 target-rate grid as a sweep."""
+    variants = []
+    for target in targets:
+        if target == 0.0:
+            # Dense reference = Sub-FedAvg with a never-passing gate.
+            config = UnstructuredConfig(
+                target_rate=0.0, step=step, epsilon=DENSE_GATE_EPSILON
+            )
+        else:
+            config = UnstructuredConfig(target_rate=target, step=step)
+        variants.append(
+            Variant(
+                label=f"sub-fedavg-un@{int(target * 100)}",
+                algorithm="sub-fedavg-un",
+                unstructured=config,
+                tags={"target_rate": target},
+            )
+        )
+    return SweepSpec(
+        name="fig2",
+        datasets=(dataset,),
+        algorithms=variants,
+        seeds=(seed,),
+        preset=preset,
+    )
+
+
 def run_sparsity_sweep(
     dataset: str,
     targets: Sequence[float] = (0.0, 0.1, 0.3, 0.5, 0.7, 0.9),
     preset: str = "smoke",
     seed: int = 0,
     step: float = 0.1,
+    jobs: int = 1,
+    executor: str = "serial",
+    store: Optional[ResultStore] = None,
 ) -> List[SparsitySweepPoint]:
     """Figures 1-2 backbone: Sub-FedAvg (Un) across target pruning rates."""
+    spec = fig2_spec(dataset, targets=targets, preset=preset, seed=seed, step=step)
+    sweep = run_sweep(spec, store=store, jobs=jobs, executor=executor)
+    sweep.raise_failures()
     points: List[SparsitySweepPoint] = []
-    for target in targets:
-        if target == 0.0:
-            # Dense reference = Sub-FedAvg with a never-passing gate.
-            config = UnstructuredConfig(target_rate=0.0, step=step, epsilon=float("inf"))
-        else:
-            config = UnstructuredConfig(target_rate=target, step=step)
-        history = run_algorithm(
-            dataset, "sub-fedavg-un", preset, seed=seed, unstructured=config
-        )
+    for result in sweep.ordered():
+        history = result.history
         achieved = history.rounds[-1].mean_sparsity if history.rounds else 0.0
         points.append(
             SparsitySweepPoint(
-                target_rate=target,
+                target_rate=result.tags["target_rate"],
                 achieved_sparsity=achieved,
                 mean_accuracy=history.final_accuracy or 0.0,
                 per_client_accuracy=dict(history.final_per_client_accuracy),
@@ -82,12 +127,37 @@ def fig2_series(points: List[SparsitySweepPoint]) -> List[Tuple[float, float]]:
     return [(point.achieved_sparsity, point.mean_accuracy) for point in points]
 
 
+def fig1_spec(
+    dataset: str = "cifar10",
+    preset: str = "smoke",
+    seed: int = 0,
+    target_rate: float = 0.7,
+    step: float = 0.08,
+) -> SweepSpec:
+    """Declare the Figure 1 trajectory run (a single tracked cell)."""
+    return SweepSpec(
+        name="fig1",
+        datasets=(dataset,),
+        algorithms=(
+            Variant(
+                label=f"sub-fedavg-un@{int(target_rate * 100)}",
+                algorithm="sub-fedavg-un",
+                unstructured=UnstructuredConfig(target_rate=target_rate, step=step),
+                trainer_overrides={"track_trajectory": True},
+            ),
+        ),
+        seeds=(seed,),
+        preset=preset,
+    )
+
+
 def run_fig1_trajectory(
     dataset: str = "cifar10",
     preset: str = "smoke",
     seed: int = 0,
     target_rate: float = 0.7,
     step: float = 0.08,
+    store: Optional[ResultStore] = None,
 ) -> Dict[int, List[Tuple[float, float]]]:
     """Figure 1 in its literal form: per-client in-run pruning trajectories.
 
@@ -96,26 +166,36 @@ def run_fig1_trajectory(
     with the paper's 5-10%-per-iteration schedule (``step`` defaults to 8%).
     Returns client id → chronological (sparsity, accuracy) curve.
     """
-    from ..federated import Federation
-    from .runner import federation_config
-    from .presets import get_preset
-
-    config = federation_config(
-        dataset,
-        "sub-fedavg-un",
-        get_preset(preset),
-        seed=seed,
-        unstructured=UnstructuredConfig(target_rate=target_rate, step=step),
+    spec = fig1_spec(
+        dataset, preset=preset, seed=seed, target_rate=target_rate, step=step
     )
-    federation = Federation.from_config(config, track_trajectory=True)
-    federation.run()
+    sweep = run_sweep(spec, store=store)
+    sweep.raise_failures()
+    (result,) = sweep.ordered()
 
     curves: Dict[int, List[Tuple[float, float]]] = {}
-    for point in federation.trainer.trajectory:
-        curves.setdefault(point.client_id, []).append(
-            (point.sparsity, point.test_accuracy)
+    for point in result.extras.get("trajectory", []):
+        curves.setdefault(point["client_id"], []).append(
+            (point["sparsity"], point["test_accuracy"])
         )
     return curves
+
+
+def fig3_spec(
+    dataset: str,
+    algorithms: Sequence[str] = ("sub-fedavg-un", "fedavg", "lg-fedavg", "mtl"),
+    preset: str = "smoke",
+    seed: int = 0,
+) -> SweepSpec:
+    """Declare the Figure 3 convergence grid (per-round evaluation)."""
+    return SweepSpec(
+        name="fig3",
+        datasets=(dataset,),
+        algorithms=tuple(algorithms),
+        seeds=(seed,),
+        preset=preset,
+        base={"eval_every": 1},
+    )
 
 
 def run_convergence(
@@ -123,14 +203,17 @@ def run_convergence(
     algorithms: Sequence[str] = ("sub-fedavg-un", "fedavg", "lg-fedavg", "mtl"),
     preset: str = "smoke",
     seed: int = 0,
+    jobs: int = 1,
+    executor: str = "serial",
+    store: Optional[ResultStore] = None,
 ) -> Dict[str, History]:
     """Figure 3 backbone: per-round accuracy curves for each algorithm."""
-    histories: Dict[str, History] = {}
-    for algorithm in algorithms:
-        histories[algorithm] = run_algorithm(
-            dataset, algorithm, preset, seed=seed, eval_every=1
-        )
-    return histories
+    spec = fig3_spec(dataset, algorithms=algorithms, preset=preset, seed=seed)
+    sweep = run_sweep(spec, store=store, jobs=jobs, executor=executor)
+    sweep.raise_failures()
+    return {
+        result.tags["variant"]: result.history for result in sweep.ordered()
+    }
 
 
 def fig3_series(histories: Dict[str, History]) -> Dict[str, List[Tuple[int, float]]]:

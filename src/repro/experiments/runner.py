@@ -19,9 +19,16 @@ def federation_config(
     eval_every: Optional[int] = None,
     **overrides,
 ) -> FederationConfig:
-    """Translate a scale preset into a full :class:`FederationConfig`."""
-    local = LocalTrainConfig(epochs=preset.local_epochs)
-    return FederationConfig(
+    """Translate a scale preset into a full :class:`FederationConfig`.
+
+    ``overrides`` may only name config fields this function does not
+    already derive from its arguments (e.g. ``partition=``, ``backend=``).
+    Passing a preset-derived field raises immediately with the dedicated
+    parameter to use instead — previously this surfaced as a bare
+    ``TypeError: got multiple values for keyword argument`` deep in the
+    dataclass constructor.
+    """
+    derived = dict(
         dataset=dataset,
         algorithm=algorithm,
         num_clients=preset.num_clients,
@@ -31,11 +38,19 @@ def federation_config(
         n_test=preset.n_test,
         seed=seed,
         eval_every=preset.eval_every if eval_every is None else eval_every,
-        local=local,
+        local=LocalTrainConfig(epochs=preset.local_epochs),
         unstructured=unstructured,
         structured=structured,
-        **overrides,
     )
+    colliding = sorted(set(overrides) & set(derived))
+    if colliding:
+        raise ValueError(
+            f"override(s) {colliding} collide with preset-derived fields; "
+            "use the dedicated parameters (dataset/algorithm/seed/"
+            "unstructured/structured/eval_every), pick a different preset, "
+            "or adjust the result with dataclasses.replace()"
+        )
+    return FederationConfig(**derived, **overrides)
 
 
 def run_algorithm(

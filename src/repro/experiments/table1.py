@@ -7,6 +7,11 @@ rates 30/50/70% and Sub-FedAvg (Hy) at 50/70/90%.  This driver regenerates
 those rows at a configurable scale preset; every cell runs through the
 registry-backed :class:`~repro.federated.federation.Federation` path, so a
 newly registered algorithm can be added to the grid by name alone.
+
+The grid itself is declared as a :class:`~repro.experiments.sweep.SweepSpec`
+(:func:`table1_spec`) and executed through the sweep engine, so rows can be
+computed in parallel (``jobs=``/``executor=``) and cached in a
+:class:`~repro.experiments.sweep.ResultStore` for resumable reruns.
 """
 
 from __future__ import annotations
@@ -16,7 +21,8 @@ from typing import List, Optional
 
 from ..federated import History
 from ..pruning import StructuredConfig, UnstructuredConfig
-from .runner import format_table, run_algorithm
+from .runner import format_table
+from .sweep import ResultStore, SweepResult, SweepSpec, Variant, run_sweep
 
 # The (algorithm, target-rate) grid of the paper's Table 1.
 UNSTRUCTURED_TARGETS = (0.3, 0.5, 0.7)
@@ -67,58 +73,103 @@ def _row_from_history(
     )
 
 
+def table1_variants(
+    include_fedprox: bool, step: float = 0.15
+) -> List[Variant]:
+    """The paper's Table 1 rows as a declarative algorithm axis, in row
+    order: baselines (FedProx after MTL, MNIST only), then Sub-FedAvg (Un)
+    per unstructured target, then Sub-FedAvg (Hy) per hybrid target."""
+    variants = [Variant(label=name, algorithm=name) for name in BASELINES]
+    if include_fedprox:
+        variants.insert(3, Variant(label="fedprox", algorithm="fedprox"))
+    for target in UNSTRUCTURED_TARGETS:
+        variants.append(
+            Variant(
+                label=f"sub-fedavg-un@{int(target * 100)}",
+                algorithm="sub-fedavg-un",
+                unstructured=UnstructuredConfig(target_rate=target, step=step),
+                tags={"pruned": "unstructured"},
+            )
+        )
+    for target in HYBRID_TARGETS:
+        variants.append(
+            Variant(
+                label=f"sub-fedavg-hy@{int(target * 100)}",
+                algorithm="sub-fedavg-hy",
+                unstructured=UnstructuredConfig(target_rate=target, step=step),
+                structured=StructuredConfig(target_rate=min(target, 0.5), step=step),
+                tags={"pruned": "hybrid"},
+            )
+        )
+    return variants
+
+
+def table1_spec(
+    dataset: str = "cifar10",
+    preset: str = "smoke",
+    seed: int = 0,
+    include_fedprox: Optional[bool] = None,
+    step: float = 0.15,
+) -> SweepSpec:
+    """Declare the Table 1 grid for one dataset as a sweep."""
+    if include_fedprox is None:
+        include_fedprox = dataset == "mnist"  # the paper reports FedProx on MNIST only
+    return SweepSpec(
+        name="table1",
+        datasets=(dataset,),
+        algorithms=table1_variants(include_fedprox, step=step),
+        seeds=(seed,),
+        preset=preset,
+    )
+
+
+def table1_rows(sweep: SweepResult) -> List[Table1Row]:
+    """Render Table 1 rows from a completed sweep (cells in grid order)."""
+    sweep.raise_failures()
+    rows: List[Table1Row] = []
+    for result in sweep.ordered():
+        history = result.history
+        label = result.tags["variant"]
+        pruned = result.tags.get("pruned")
+        rows.append(
+            _row_from_history(
+                label,
+                history,
+                unstructured_pct=(
+                    _final_sparsity(history) * 100 if pruned else 0.0
+                ),
+                channel_pct=(
+                    _final_channel_sparsity(history) * 100
+                    if pruned == "hybrid"
+                    else 0.0
+                ),
+            )
+        )
+    return rows
+
+
 def run_table1(
     dataset: str = "cifar10",
     preset: str = "smoke",
     seed: int = 0,
     include_fedprox: Optional[bool] = None,
     step: float = 0.15,
+    jobs: int = 1,
+    executor: str = "serial",
+    store: Optional[ResultStore] = None,
 ) -> List[Table1Row]:
     """Regenerate the Table 1 rows for one dataset.
 
     ``step`` is the per-commit pruning increment (the paper iterates by
     5-10% per pruning event; smoke-scale runs use a larger step so targets
-    are reachable within few rounds).
+    are reachable within few rounds).  ``jobs``/``executor``/``store``
+    forward to the sweep engine: rows are independent cells, so they can
+    run concurrently and resume from a result store.
     """
-    if include_fedprox is None:
-        include_fedprox = dataset == "mnist"  # the paper reports FedProx on MNIST only
-    rows: List[Table1Row] = []
-
-    for algorithm in BASELINES:
-        history = run_algorithm(dataset, algorithm, preset, seed=seed)
-        rows.append(_row_from_history(algorithm, history))
-    if include_fedprox:
-        history = run_algorithm(dataset, "fedprox", preset, seed=seed)
-        rows.insert(3, _row_from_history("fedprox", history))
-
-    for target in UNSTRUCTURED_TARGETS:
-        config = UnstructuredConfig(target_rate=target, step=step)
-        history = run_algorithm(
-            dataset, "sub-fedavg-un", preset, seed=seed, unstructured=config
-        )
-        rows.append(
-            _row_from_history(
-                f"sub-fedavg-un@{int(target * 100)}",
-                history,
-                unstructured_pct=_final_sparsity(history) * 100,
-            )
-        )
-
-    for target in HYBRID_TARGETS:
-        un = UnstructuredConfig(target_rate=target, step=step)
-        st = StructuredConfig(target_rate=min(target, 0.5), step=step)
-        history = run_algorithm(
-            dataset, "sub-fedavg-hy", preset, seed=seed, unstructured=un, structured=st
-        )
-        rows.append(
-            _row_from_history(
-                f"sub-fedavg-hy@{int(target * 100)}",
-                history,
-                unstructured_pct=_final_sparsity(history) * 100,
-                channel_pct=_final_channel_sparsity(history) * 100,
-            )
-        )
-    return rows
+    spec = table1_spec(
+        dataset, preset=preset, seed=seed, include_fedprox=include_fedprox, step=step
+    )
+    return table1_rows(run_sweep(spec, store=store, jobs=jobs, executor=executor))
 
 
 def _final_sparsity(history: History) -> float:

@@ -9,6 +9,12 @@ on LeNet-5).  These quantities are analytic — they follow from the channel
 census, not from training — which is how the paper itself derives them, so
 this driver computes them exactly (no federation is built; the trainer
 registry is not involved).
+
+The algorithm/target grid is shared with Table 1
+(:data:`~repro.experiments.table1.BASELINES`,
+:data:`~repro.experiments.table1.UNSTRUCTURED_TARGETS`,
+:data:`~repro.experiments.table1.HYBRID_TARGETS`), so both tables always
+report the same variants.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from ..models import create_model
 from ..models.registry import input_spatial_size
 from ..pruning import ChannelMask, reduction_report
 from .runner import format_table
+from .table1 import BASELINES, HYBRID_TARGETS, UNSTRUCTURED_TARGETS
 
 
 @dataclass
@@ -50,16 +57,11 @@ def run_table2(dataset: str = "cifar10", seed: int = 0) -> List[Table2Row]:
     """Regenerate Table 2's reduction factors for one dataset's model."""
     model = create_model(dataset, seed=seed)
     side = input_spatial_size(dataset)
-    rows = [
-        Table2Row("standalone", 1.0, 0.0),
-        Table2Row("fedavg", 1.0, 0.0),
-        Table2Row("mtl", 1.0, 0.0),
-        Table2Row("lg-fedavg", 1.0, 0.0),
-    ]
-    for target in (0.3, 0.5, 0.7):
+    rows = [Table2Row(name, 1.0, 0.0) for name in BASELINES]
+    for target in UNSTRUCTURED_TARGETS:
         # Unstructured masks do not shrink conv kernels: FLOPs unchanged.
         rows.append(Table2Row(f"sub-fedavg-un@{int(target*100)}", 1.0, target))
-    for target in (0.5, 0.7, 0.9):
+    for target in HYBRID_TARGETS:
         channel_rate = 0.5  # the paper's Hy runs prune ~half the channels
         report = reduction_report(model, uniform_channel_mask(model, channel_rate), side)
         rows.append(

@@ -13,7 +13,7 @@ Two aggregators matter to the paper:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 

@@ -27,6 +27,7 @@ for existing callers.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import asdict, dataclass, field, fields, is_dataclass, replace
 from typing import Any, Callable, Dict, List, Mapping
@@ -120,6 +121,21 @@ class FederationConfig:
     @classmethod
     def from_json(cls, text: str) -> "FederationConfig":
         return cls.from_dict(json.loads(text))
+
+    def stable_hash(self, extra: Mapping[str, Any] | None = None) -> str:
+        """Content hash of this config (plus optional ``extra`` payload).
+
+        The hash is computed over canonical JSON — keys sorted at every
+        nesting level — so it is invariant to dict ordering and identical
+        across processes and Python versions (unlike built-in ``hash``).
+        Two configs hash equal iff they describe the same run, which is
+        what the sweep result store keys cells by.
+        """
+        payload: Dict[str, Any] = {"config": self.to_dict()}
+        if extra:
+            payload["extra"] = dict(extra)
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
 
 def make_clients(config: FederationConfig) -> List[FederatedClient]:

@@ -16,7 +16,6 @@ are drawn after the resume point but not the algorithm's semantics.
 
 from __future__ import annotations
 
-import json
 import pickle
 from dataclasses import asdict
 from pathlib import Path

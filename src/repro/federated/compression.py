@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..pruning.unstructured import _rank_threshold
-from .accounting.communication import FLOAT_BITS, MASK_BITS, RoundTraffic
+from .accounting.communication import FLOAT_BITS, MASK_BITS
 from .aggregation import fedavg_average
 from .metrics import RoundRecord
 from .registry import register_trainer

@@ -11,7 +11,7 @@ fairness benchmark.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Mapping
 
 import numpy as np
 

@@ -186,10 +186,16 @@ def _run_evaluate(client, task: ClientTask, global_state: State) -> ClientUpdate
     )
 
 
-def _default_workers(workers: int) -> int:
+def default_worker_count(workers: int = 0) -> int:
+    """Resolve a worker-count setting: positive values pass through, 0/None
+    means one worker per CPU.  Shared by the round-level backends here and
+    the grid-level :class:`~repro.experiments.sweep.SweepRunner`."""
     if workers and workers > 0:
         return int(workers)
     return max(1, os.cpu_count() or 1)
+
+
+_default_workers = default_worker_count  # backward-compatible alias
 
 
 class ExecutionBackend:

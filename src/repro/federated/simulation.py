@@ -26,9 +26,8 @@ forward/backward pair).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-import numpy as np
 
 from .metrics import History, RoundRecord
 

@@ -16,7 +16,6 @@ from ..data.synthetic import SPECS
 from .base import ConvNet
 from .cnn import CNN5
 from .lenet import LeNet5
-from .mlp import MLP
 
 _BUILDERS: Dict[str, Callable[..., ConvNet]] = {
     "mnist": lambda num_classes, in_channels, rng: CNN5(num_classes, in_channels, rng),

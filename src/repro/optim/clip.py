@@ -8,7 +8,7 @@ so their joint L2 norm is at most ``max_norm``.
 
 from __future__ import annotations
 
-from typing import Iterable, Union
+from typing import Iterable
 
 import numpy as np
 

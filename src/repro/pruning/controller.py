@@ -22,8 +22,8 @@ iteration" schedule.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
 from ..models.base import ConvNet
 from .mask import MaskSet, hamming_distance

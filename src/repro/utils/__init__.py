@@ -4,6 +4,8 @@ from .rng import seed_everything, spawn_rng
 from .logging import get_logger
 from .timer import Timer
 from .serialization import (
+    history_from_dict,
+    history_to_dict,
     load_history,
     load_mask,
     load_state,
@@ -23,4 +25,6 @@ __all__ = [
     "load_mask",
     "save_history",
     "load_history",
+    "history_to_dict",
+    "history_from_dict",
 ]

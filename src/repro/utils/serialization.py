@@ -41,9 +41,9 @@ def load_mask(path: PathLike) -> MaskSet:
         return MaskSet({name: archive[name].astype(np.float64) for name in archive.files})
 
 
-def save_history(path: PathLike, history: History) -> None:
-    """Serialize a run history to JSON (arrays are plain lists)."""
-    payload = {
+def history_to_dict(history: History) -> Dict:
+    """JSON-safe dict for a run history (arrays are plain lists)."""
+    return {
         "algorithm": history.algorithm,
         "final_accuracy": history.final_accuracy,
         "final_per_client_accuracy": {
@@ -52,11 +52,10 @@ def save_history(path: PathLike, history: History) -> None:
         "total_communication_bytes": history.total_communication_bytes,
         "rounds": [asdict(record) for record in history.rounds],
     }
-    Path(path).write_text(json.dumps(payload, indent=2))
 
 
-def load_history(path: PathLike) -> History:
-    payload = json.loads(Path(path).read_text())
+def history_from_dict(payload: Dict) -> History:
+    """Inverse of :func:`history_to_dict`; the round trip is exact."""
     history = History(algorithm=payload["algorithm"])
     for record in payload["rounds"]:
         history.rounds.append(RoundRecord(**record))
@@ -66,3 +65,12 @@ def load_history(path: PathLike) -> History:
     }
     history.total_communication_bytes = payload["total_communication_bytes"]
     return history
+
+
+def save_history(path: PathLike, history: History) -> None:
+    """Serialize a run history to JSON."""
+    Path(path).write_text(json.dumps(history_to_dict(history), indent=2))
+
+
+def load_history(path: PathLike) -> History:
+    return history_from_dict(json.loads(Path(path).read_text()))
