@@ -13,9 +13,14 @@ Quickstart
 ...     num_clients=10, rounds=3, n_train=600, n_test=200))
 >>> history = federation.run()  # doctest: +SKIP
 
-Algorithms are plugins (``repro.federated.register_trainer``), run configs
-serialize to JSON, and callbacks (``ProgressLogger``, ``EarlyStopping``,
-``CheckpointCallback``, ``WallClockCallback``) hook into the round loop.
+Every experiment axis is a plugin registry: algorithms
+(``repro.federated.register_trainer``), datasets
+(``repro.data.register_dataset``), partition strategies
+(``repro.data.register_partitioner``) and client-participation models
+(``repro.federated.register_sampler``).  Run configs serialize to JSON
+(including the nested ``data``/``scenario`` scenario sections), and
+callbacks (``ProgressLogger``, ``EarlyStopping``, ``CheckpointCallback``,
+``WallClockCallback``) hook into the round loop.
 """
 
 from . import data, experiments, federated, models, nn, optim, pruning, tensor, utils

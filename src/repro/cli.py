@@ -6,7 +6,10 @@ Usage::
     python -m repro run    --dataset mnist --algorithm sub-fedavg-un --preset smoke
     python -m repro run    --config run.json
     python -m repro run    --backend thread --workers 4
+    python -m repro run    --partition dirichlet --set data.dirichlet_alpha=0.1
+    python -m repro run    --sampler availability --set scenario.dropout=0.2
     python -m repro sweep  --grid smoke --jobs 2 --out sweep-results
+    python -m repro sweep  --grid ablate-partition --dataset mnist
     python -m repro sweep  --grid table1 --dataset mnist --resume --export-json sweep.json
     python -m repro table1 --dataset mnist --preset smoke
     python -m repro table2 --dataset cifar10
@@ -15,24 +18,33 @@ Usage::
     python -m repro ablate --which aggregation --dataset mnist
     python -m repro report --dataset mnist --out report.md
 
-Algorithm, dataset and preset choices are resolved from the registries
-(``repro.federated.registry``, ``repro.data.synthetic.SPECS``,
-``repro.experiments.presets``), so a newly registered plugin appears here
-without CLI edits.  ``run`` accepts either flags or a serialized
-:class:`~repro.federated.builder.FederationConfig` (``--config run.json``;
-write one with ``--export-config``).  Each subcommand prints the
-corresponding paper artifact to stdout and optionally saves the raw run
-history (``--save history.json``).
+Algorithm, dataset, partitioner, sampler and preset choices are resolved
+from the registries (``repro.federated.registry``, ``repro.data.registry``,
+``repro.federated.scenario``, ``repro.experiments.presets``), so a newly
+registered plugin appears here without CLI edits.  ``run`` accepts either
+flags or a serialized :class:`~repro.federated.builder.FederationConfig`
+(``--config run.json``; write one with ``--export-config``), plus scenario
+flags (``--partition dirichlet``, ``--sampler availability``) and generic
+nested-section overrides (``--set data.dirichlet_alpha=0.1 --set
+scenario.dropout=0.2``).  Each subcommand prints the corresponding paper
+artifact to stdout and optionally saves the raw run history
+(``--save history.json``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from dataclasses import replace
 from pathlib import Path
 from typing import List, Optional
 
+from .data.registry import (
+    available_partitioners,
+    dataset_entries,
+    partitioner_specs,
+)
 from .data.synthetic import SPECS
 from .experiments import (
     PRESETS,
@@ -51,7 +63,10 @@ from .experiments import (
     format_table1,
     format_table2,
     heterogeneity_spec,
+    partition_override,
+    partition_spec,
     pruning_step_spec,
+    sampler_override,
     rounds_to_target,
     run_convergence,
     run_sparsity_sweep,
@@ -67,6 +82,8 @@ from .federated import (
     ProgressLogger,
     available_algorithms,
     available_backends,
+    available_samplers,
+    sampler_specs,
     trainer_specs,
 )
 from .utils.serialization import save_history
@@ -86,8 +103,24 @@ def build_parser() -> argparse.ArgumentParser:
         if preset:
             p.add_argument("--preset", choices=presets, default="smoke")
 
+    def scenario_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--partition",
+            choices=available_partitioners(),
+            default=None,
+            help="partition strategy (default: the config's, i.e. shard)",
+        )
+        p.add_argument(
+            "--sampler",
+            choices=available_samplers(),
+            default=None,
+            help="client-participation model (default: the config's, i.e. uniform)",
+        )
+
     list_cmd = sub.add_parser(
-        "list", help="show registered algorithms, datasets and presets"
+        "list",
+        help="show registered algorithms, datasets, partitioners, "
+        "samplers and presets",
     )
     list_cmd.set_defaults(func=_cmd_list)
 
@@ -121,12 +154,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker count for thread/process backends (default: cpu count)",
     )
+    scenario_flags(run_cmd)
+    run_cmd.add_argument(
+        "--set",
+        dest="set_overrides",
+        action="append",
+        default=[],
+        metavar="SECTION.FIELD=VALUE",
+        help="override any config field, including nested sections "
+        "(e.g. --set data.dirichlet_alpha=0.1 --set scenario.dropout=0.2 "
+        "--set rounds=10); values are parsed as JSON, falling back to "
+        "strings",
+    )
     run_cmd.set_defaults(func=_cmd_run)
 
     sweep = sub.add_parser(
         "sweep", help="run a grid of experiment cells in parallel, resumably"
     )
     common(sweep)
+    scenario_flags(sweep)
     sweep.add_argument(
         "--grid",
         choices=tuple(SWEEP_GRIDS),
@@ -182,7 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
     common(ablate)
     ablate.add_argument(
         "--which",
-        choices=("aggregation", "gate", "heterogeneity", "step"),
+        choices=("aggregation", "gate", "heterogeneity", "partition", "step"),
         default="aggregation",
     )
     ablate.set_defaults(func=_run_ablation)
@@ -206,9 +252,19 @@ def _cmd_list(args) -> int:
         sections = f" (config: {', '.join(spec.config_sections)})" if spec.config_sections else ""
         print(f"  {spec.name:18s} {spec.summary}{sections}")
     print("datasets:")
-    for name, spec in SPECS.items():
-        shape = "x".join(str(dim) for dim in spec.shape)
-        print(f"  {name:18s} {shape}, {spec.num_classes} classes")
+    for entry in dataset_entries():
+        shape = "x".join(str(dim) for dim in entry.spec.shape)
+        print(
+            f"  {entry.name:18s} {shape}, {entry.spec.num_classes} classes"
+            f" — {entry.summary}"
+        )
+    print("partitioners:")
+    for spec in partitioner_specs():
+        fields = f" (config: {', '.join(sorted(set(spec.params.values())))})" if spec.params else ""
+        print(f"  {spec.name:18s} {spec.summary}{fields}")
+    print("samplers:")
+    for spec in sampler_specs():
+        print(f"  {spec.name:18s} {spec.summary}")
     print("presets:")
     for preset in PRESETS.values():
         print(
@@ -231,9 +287,48 @@ def _resolve_run_config(args) -> FederationConfig:
         overrides["backend"] = args.backend
     if getattr(args, "workers", None) is not None:
         overrides["workers"] = args.workers
+    if getattr(args, "partition", None) is not None:
+        overrides["data"] = replace(config.data, partition=args.partition)
+    if getattr(args, "sampler", None) is not None:
+        overrides["scenario"] = replace(config.scenario, sampler=args.sampler)
     if overrides:
         config = replace(config, **overrides)
+    for assignment in getattr(args, "set_overrides", []):
+        config = _apply_set_override(config, assignment)
     return config
+
+
+def _apply_set_override(config: FederationConfig, assignment: str) -> FederationConfig:
+    """Apply one ``--set section.field=value`` (or ``field=value``) override.
+
+    Values are parsed as JSON (``0.1``, ``true``, ``[1, 2]``) with a
+    plain-string fallback, so ``--set data.partition=dirichlet`` needs no
+    quoting.
+    """
+    path, sep, raw = assignment.partition("=")
+    if not sep:
+        raise SystemExit(f"--set expects SECTION.FIELD=VALUE, got {assignment!r}")
+    try:
+        value = json.loads(raw)
+    except ValueError:
+        value = raw
+    parts = path.split(".")
+    try:
+        if len(parts) == 1:
+            return replace(config, **{parts[0]: value})
+        if len(parts) == 2:
+            section, fld = parts
+            nested = getattr(config, section, None)
+            if nested is None:
+                raise SystemExit(
+                    f"--set cannot reach {path!r}: section {section!r} is unset"
+                )
+            return replace(config, **{section: replace(nested, **{fld: value})})
+    except (TypeError, ValueError, KeyError) as error:
+        # Bad field names (TypeError) and rejected values (ValueError /
+        # KeyError from config validation) both get the clean CLI error.
+        raise SystemExit(f"--set {assignment!r}: {error}") from None
+    raise SystemExit(f"--set path {path!r} nests too deep (one dot maximum)")
 
 
 def _cmd_run(args) -> int:
@@ -268,6 +363,9 @@ SWEEP_GRIDS = {
     "ablate-heterogeneity": lambda args: heterogeneity_spec(
         args.dataset, preset=args.preset, seed=args.seed
     ),
+    "ablate-partition": lambda args: partition_spec(
+        args.dataset, preset=args.preset, seed=args.seed
+    ),
     "ablate-step": lambda args: pruning_step_spec(
         args.dataset, preset=args.preset, seed=args.seed
     ),
@@ -289,6 +387,40 @@ def _cmd_sweep(args) -> int:
             file=sys.stderr,
         )
     spec = SWEEP_GRIDS[args.grid](args)
+    # --partition/--sampler re-base every cell of the grid on a different
+    # scenario (cells that pin their own partition override still win).
+    base = dict(spec.base)
+    if args.partition is not None:
+        base.update(partition_override(args.partition))
+    if args.sampler is not None:
+        base.update(sampler_override(args.sampler))
+    spec.base = base
+    if args.partition is not None:
+        pinned = [
+            cell.key
+            for cell in spec.expand()
+            if cell.config.data.partition != args.partition
+        ]
+        if pinned:
+            print(
+                f"note: --partition {args.partition} has no effect on "
+                f"{len(pinned)} cell(s) of grid {args.grid!r} that pin "
+                f"their own partition (e.g. {pinned[0]})",
+                file=sys.stderr,
+            )
+    if args.sampler is not None:
+        pinned = [
+            cell.key
+            for cell in spec.expand()
+            if cell.config.scenario.sampler != args.sampler
+        ]
+        if pinned:
+            print(
+                f"note: --sampler {args.sampler} has no effect on "
+                f"{len(pinned)} cell(s) of grid {args.grid!r} that pin "
+                f"their own scenario (e.g. {pinned[0]})",
+                file=sys.stderr,
+            )
     executor = args.executor or _default_sweep_executor()
     runner = SweepRunner(
         spec,
@@ -370,6 +502,7 @@ def _run_ablation(args) -> int:
         ablate_aggregation,
         ablate_heterogeneity,
         ablate_mask_distance_gate,
+        ablate_partition,
         ablate_pruning_step,
     )
 
@@ -379,6 +512,16 @@ def _run_ablation(args) -> int:
         for alpha, cell in table.items():
             print(
                 f"{alpha:>5} | {cell['sub-fedavg-un']:>13.3f} | {cell['fedavg']:.3f}"
+            )
+        return 0
+
+    if args.which == "partition":
+        table = ablate_partition(args.dataset, preset=args.preset, seed=args.seed)
+        print("partition | sub-fedavg-un | fedavg")
+        for partition, cell in table.items():
+            print(
+                f"{partition:>13} | {cell['sub-fedavg-un']:>13.3f} | "
+                f"{cell['fedavg']:.3f}"
             )
         return 0
 

@@ -1,14 +1,39 @@
-"""Datasets, synthetic benchmark generators and non-IID partitioning."""
+"""Datasets, synthetic benchmark generators and non-IID partitioning.
+
+Both scenario axes are registry-driven: datasets register a
+:class:`DatasetSpec` plus loader with :func:`register_dataset`, partition
+strategies register with :func:`register_partitioner`, and ``SPECS`` is a
+live derived view of the dataset registry.
+"""
 
 from .dataset import ArrayDataset, Dataset, Subset, train_val_split
 from .loader import DataLoader, full_batch
+from .registry import (
+    DatasetEntry,
+    PartitionerSpec,
+    available_datasets,
+    available_partitioners,
+    dataset_entries,
+    get_dataset,
+    get_partitioner,
+    partitioner_specs,
+    register_dataset,
+    register_partitioner,
+    unregister_dataset,
+    unregister_partitioner,
+)
 from .partition import (
     ClientData,
+    DataConfig,
     build_client_data,
     dirichlet_partition,
+    iid_partition,
     label_distribution,
+    label_k_partition,
     label_overlap,
     label_test_view,
+    partition_indices,
+    quantity_skew_partition,
     shard_partition,
 )
 from .stats import heterogeneity_index, label_emd, label_histogram
@@ -41,8 +66,25 @@ __all__ = [
     "DataLoader",
     "full_batch",
     "ClientData",
+    "DataConfig",
+    "DatasetEntry",
+    "PartitionerSpec",
+    "register_dataset",
+    "register_partitioner",
+    "unregister_dataset",
+    "unregister_partitioner",
+    "get_dataset",
+    "get_partitioner",
+    "available_datasets",
+    "available_partitioners",
+    "dataset_entries",
+    "partitioner_specs",
     "shard_partition",
     "dirichlet_partition",
+    "iid_partition",
+    "quantity_skew_partition",
+    "label_k_partition",
+    "partition_indices",
     "build_client_data",
     "label_test_view",
     "label_distribution",

@@ -23,12 +23,13 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Tuple
 
 import numpy as np
 from scipy import ndimage
 
 from .dataset import ArrayDataset
+from .registry import SpecView, get_dataset, register_dataset
 
 
 @dataclass(frozen=True)
@@ -44,20 +45,10 @@ class DatasetSpec:
     distractor: float = 0.0  # amplitude of an added wrong-class template
 
 
-SPECS: Dict[str, DatasetSpec] = {
-    "mnist": DatasetSpec(
-        "mnist", (1, 28, 28), 10, signal=3.0, noise=1.0, max_shift=2, distractor=0.3
-    ),
-    "emnist": DatasetSpec(
-        "emnist", (1, 28, 28), 26, signal=3.0, noise=1.0, max_shift=2, distractor=0.3
-    ),
-    "cifar10": DatasetSpec(
-        "cifar10", (3, 32, 32), 10, signal=1.8, noise=1.0, max_shift=3, distractor=0.9
-    ),
-    "cifar100": DatasetSpec(
-        "cifar100", (3, 32, 32), 100, signal=1.5, noise=1.0, max_shift=3, distractor=1.1
-    ),
-}
+#: Live ``name -> DatasetSpec`` view over the dataset registry.  Third-party
+#: datasets added with ``@register_dataset`` appear here (and therefore in
+#: config validation, the CLI and the model factory) immediately.
+SPECS = SpecView()
 
 
 def class_templates(spec: DatasetSpec, seed: int) -> np.ndarray:
@@ -140,19 +131,45 @@ def generate_split(
     return ArrayDataset(images.astype(np.float64), labels)
 
 
-def load_dataset(
-    name: str, n_train: int, n_test: int, seed: int = 0
+def _synthetic_loader(
+    spec: DatasetSpec, n_train: int, n_test: int, seed: int
 ) -> Tuple[ArrayDataset, ArrayDataset]:
-    """Return ``(train, test)`` synthetic datasets for a named family.
-
-    ``name`` must be one of ``mnist``, ``emnist``, ``cifar10``, ``cifar100``.
-    """
-    if name not in SPECS:
-        raise KeyError(f"unknown dataset {name!r}; choose from {sorted(SPECS)}")
-    spec = SPECS[name]
+    """Synthetic class-conditional splits (see module docstring)."""
     train = generate_split(spec, n_train, seed, "train")
     test = generate_split(spec, n_test, seed, "test")
     return train, test
+
+
+for _spec in (
+    DatasetSpec(
+        "mnist", (1, 28, 28), 10, signal=3.0, noise=1.0, max_shift=2, distractor=0.3
+    ),
+    DatasetSpec(
+        "emnist", (1, 28, 28), 26, signal=3.0, noise=1.0, max_shift=2, distractor=0.3
+    ),
+    DatasetSpec(
+        "cifar10", (3, 32, 32), 10, signal=1.8, noise=1.0, max_shift=3, distractor=0.9
+    ),
+    DatasetSpec(
+        "cifar100", (3, 32, 32), 100, signal=1.5, noise=1.0, max_shift=3, distractor=1.1
+    ),
+):
+    register_dataset(_spec, summary="synthetic class-conditional images")(
+        _synthetic_loader
+    )
+
+
+def load_dataset(
+    name: str, n_train: int, n_test: int, seed: int = 0
+) -> Tuple[ArrayDataset, ArrayDataset]:
+    """Return ``(train, test)`` datasets for a registered family.
+
+    Dispatches through the dataset registry: the builtin synthetic families
+    (``mnist``, ``emnist``, ``cifar10``, ``cifar100``) plus anything added
+    with :func:`~repro.data.registry.register_dataset`.
+    """
+    entry = get_dataset(name)
+    return entry.loader(entry.spec, n_train, n_test, seed)
 
 
 def synthetic_mnist(n_train: int = 2000, n_test: int = 500, seed: int = 0):

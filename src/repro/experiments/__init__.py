@@ -7,7 +7,13 @@ parallel and caches them in a :class:`~repro.experiments.sweep.ResultStore`
 for resumable reruns (``python -m repro sweep``).
 """
 
-from .presets import PRESETS, ScalePreset, get_preset
+from .presets import (
+    PRESETS,
+    ScalePreset,
+    get_preset,
+    partition_override,
+    sampler_override,
+)
 from .runner import federation_config, format_table, run_algorithm
 from .sweep import (
     CellResult,
@@ -36,10 +42,12 @@ from .ablations import (
     ablate_aggregation,
     ablate_heterogeneity,
     ablate_mask_distance_gate,
+    ablate_partition,
     ablate_pruning_step,
     aggregation_spec,
     gate_spec,
     heterogeneity_spec,
+    partition_spec,
     pruning_step_spec,
 )
 from .figures import (
@@ -61,6 +69,8 @@ __all__ = [
     "PRESETS",
     "ScalePreset",
     "get_preset",
+    "partition_override",
+    "sampler_override",
     "run_algorithm",
     "federation_config",
     "format_table",
@@ -101,9 +111,11 @@ __all__ = [
     "ablate_aggregation",
     "ablate_mask_distance_gate",
     "ablate_heterogeneity",
+    "ablate_partition",
     "ablate_pruning_step",
     "aggregation_spec",
     "gate_spec",
     "heterogeneity_spec",
+    "partition_spec",
     "pruning_step_spec",
 ]

@@ -1,6 +1,6 @@
 """Ablation studies on Sub-FedAvg's design choices (DESIGN.md §7).
 
-Four ablations, each isolating one mechanism the paper relies on:
+Five ablations, each isolating one mechanism the paper relies on:
 
 * **Aggregation rule** — intersection average vs a naive zero-filling mean.
   Shows why averaging only over keepers matters: zero-filling drags rarely
@@ -11,9 +11,15 @@ Four ablations, each isolating one mechanism the paper relies on:
   pathological.  Sub-FedAvg's advantage over FedAvg should grow as α drops.
 * **Pruning-step sensitivity** — per-commit increment r_us from cautious to
   aggressive at a fixed target (the paper iterates 5-10% per event).
+* **Partition sweep** — one cell per *registered* partition strategy, so the
+  grid automatically widens as partitioners are added (third-party ones
+  included): personalization should pay off under the skewed splits and
+  wash out under ``iid``.
 
-Every ablation grid is declared as a
-:class:`~repro.experiments.sweep.SweepSpec` and executed through the sweep
+Scenario axes are declared through the registry-validated helpers in
+:mod:`~repro.experiments.presets` (``partition_override``), never as bare
+string literals.  Every ablation grid is a
+:class:`~repro.experiments.sweep.SweepSpec` executed through the sweep
 engine, so cells run in parallel (``jobs=``/``executor=``) and are cached
 in a :class:`~repro.experiments.sweep.ResultStore` when one is supplied.
 """
@@ -21,9 +27,11 @@ in a :class:`~repro.experiments.sweep.ResultStore` when one is supplied.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..data.registry import available_partitioners
 from ..pruning import UnstructuredConfig
+from .presets import partition_override
 from .sweep import CellResult, ResultStore, SweepSpec, Variant, run_sweep
 
 
@@ -148,9 +156,9 @@ def heterogeneity_spec(
         ),
         seeds=(seed,),
         preset=preset,
-        base={"partition": "dirichlet"},
         overrides={
-            f"alpha={alpha:g}": {"dirichlet_alpha": alpha} for alpha in alphas
+            f"alpha={alpha:g}": partition_override("dirichlet", dirichlet_alpha=alpha)
+            for alpha in alphas
         },
     )
 
@@ -175,6 +183,64 @@ def ablate_heterogeneity(
     for result in sweep.ordered():
         alpha = result.config.dirichlet_alpha
         results[alpha][result.tags["variant"]] = (
+            result.history.final_accuracy or 0.0
+        )
+    return results
+
+
+def partition_spec(
+    dataset: str = "mnist",
+    partitions: Optional[Sequence[str]] = None,
+    preset: str = "smoke",
+    seed: int = 0,
+) -> SweepSpec:
+    """Sub-FedAvg vs FedAvg across every registered partition strategy.
+
+    ``partitions`` defaults to the full partitioner registry, so the grid
+    grows automatically when a new strategy (builtin or third-party) is
+    registered — no edits here.
+    """
+    names: Tuple[str, ...] = (
+        tuple(partitions) if partitions is not None else available_partitioners()
+    )
+    return SweepSpec(
+        name="ablate-partition",
+        datasets=(dataset,),
+        algorithms=(
+            Variant(
+                label="sub-fedavg-un",
+                algorithm="sub-fedavg-un",
+                unstructured=UnstructuredConfig(target_rate=0.5, step=0.2),
+            ),
+            "fedavg",
+        ),
+        seeds=(seed,),
+        preset=preset,
+        overrides={name: partition_override(name) for name in names},
+    )
+
+
+def ablate_partition(
+    dataset: str = "mnist",
+    partitions: Optional[Sequence[str]] = None,
+    preset: str = "smoke",
+    seed: int = 0,
+    jobs: int = 1,
+    executor: str = "serial",
+    store: Optional[ResultStore] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Accuracy per (partition strategy × algorithm).
+
+    Returns ``{partition: {"sub-fedavg-un": acc, "fedavg": acc}}`` over the
+    registered partitioners (or the explicit ``partitions`` subset).
+    """
+    spec = partition_spec(dataset, partitions=partitions, preset=preset, seed=seed)
+    sweep = run_sweep(spec, store=store, jobs=jobs, executor=executor)
+    sweep.raise_failures()
+    results: Dict[str, Dict[str, float]] = {}
+    for result in sweep.ordered():
+        partition = result.tags["override"]
+        results.setdefault(partition, {})[result.tags["variant"]] = (
             result.history.final_accuracy or 0.0
         )
     return results

@@ -1,16 +1,25 @@
-"""Scale presets for the paper's experiments.
+"""Scale presets and scenario-override helpers for the paper's experiments.
 
 The paper's runs (100 clients, 300-500 rounds, full 50k-example datasets)
 take GPU-days; the presets here reproduce the same protocol at three
 scales.  ``smoke`` finishes in seconds per algorithm and is what the
 benchmark suite runs; ``small`` gives more faithful numbers in minutes;
 ``paper`` is the full protocol for completeness (expect hours on CPU).
+
+Experiment grids that vary the *data scenario* build their override dicts
+with :func:`partition_override` / :func:`sampler_override`, which validate
+names against the partitioner and sampler registries — so a grid over a
+misspelled or unregistered strategy fails at declaration time, not three
+cells into a sweep.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Any, Dict
+
+from ..data.registry import get_partitioner
+from ..federated.scenario import ScenarioConfig, get_sampler
 
 
 @dataclass(frozen=True)
@@ -62,3 +71,27 @@ def get_preset(name: str) -> ScalePreset:
     if name not in PRESETS:
         raise KeyError(f"unknown preset {name!r}; choose from {sorted(PRESETS)}")
     return PRESETS[name]
+
+
+def partition_override(partition: str, **params) -> Dict[str, Any]:
+    """Config overrides selecting a *registered* partition strategy.
+
+    ``params`` are :class:`~repro.data.partition.DataConfig` fields (e.g.
+    ``dirichlet_alpha=0.1``); the partitioner name is resolved through the
+    registry so a typo or unregistered strategy raises here, where the
+    grid is declared, instead of inside a sweep worker.
+    """
+    get_partitioner(partition)  # raises KeyError for unknown strategies
+    return {"partition": partition, **params}
+
+
+def sampler_override(sampler: str, **params) -> Dict[str, Any]:
+    """Config overrides selecting a *registered* participation model.
+
+    Returns a ``{"scenario": ScenarioConfig(...)}`` override; ``params``
+    are :class:`~repro.federated.scenario.ScenarioConfig` fields (e.g.
+    ``dropout=0.2``).  The sampler name is validated via the registry at
+    declaration time.
+    """
+    get_sampler(sampler)  # raises KeyError for unknown samplers
+    return {"scenario": ScenarioConfig(sampler=sampler, **params)}

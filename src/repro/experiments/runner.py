@@ -22,11 +22,14 @@ def federation_config(
     """Translate a scale preset into a full :class:`FederationConfig`.
 
     ``overrides`` may only name config fields this function does not
-    already derive from its arguments (e.g. ``partition=``, ``backend=``).
-    Passing a preset-derived field raises immediately with the dedicated
-    parameter to use instead — previously this surfaced as a bare
-    ``TypeError: got multiple values for keyword argument`` deep in the
-    dataclass constructor.
+    already derive from its arguments — e.g. ``partition=``/``backend=``,
+    or whole nested sections (``scenario=ScenarioConfig(...)``, typically
+    built with :func:`~repro.experiments.presets.sampler_override` /
+    :func:`~repro.experiments.presets.partition_override` so the names are
+    registry-validated at grid-declaration time).  Passing a preset-derived
+    field raises immediately with the dedicated parameter to use instead —
+    previously this surfaced as a bare ``TypeError: got multiple values for
+    keyword argument`` deep in the dataclass constructor.
     """
     derived = dict(
         dataset=dataset,

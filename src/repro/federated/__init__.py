@@ -11,7 +11,11 @@ serializable :class:`FederationConfig`:
 
 Algorithms are plugins: trainer classes self-register with
 :func:`register_trainer`, and :data:`ALGORITHMS` is a derived view of the
-registry.  Client execution is pluggable too: per-round local work runs on
+registry.  The data scenario is pluggable the same way — datasets and
+partition strategies register in :mod:`repro.data.registry`, participation
+models in :mod:`~repro.federated.scenario` (:func:`register_sampler`), and
+the nested ``data``/``scenario`` config sections select them per run.
+Client execution is pluggable too: per-round local work runs on
 an :mod:`~repro.federated.execution` backend (``serial``, ``thread`` or
 ``process`` — ``FederationConfig(backend=..., workers=...)``) with
 histories guaranteed identical across backends.  Lifecycle callbacks (:class:`ProgressLogger`,
@@ -64,7 +68,18 @@ from .builder import (
 from .federation import Federation
 from .client import FederatedClient, LocalTrainConfig, LocalTrainResult
 from .metrics import History, RoundRecord
-from .sampler import ClientSampler, FixedSampler
+from .sampler import AvailabilitySampler, ClientSampler, FixedSampler
+from .scenario import (
+    SamplerSpec,
+    ScenarioConfig,
+    available_samplers,
+    build_sampler,
+    get_sampler,
+    register_sampler,
+    sampler_specs,
+    unregister_sampler,
+)
+from ..data.partition import DataConfig
 from .trainers import (
     FedAvg,
     FedMTL,
@@ -93,6 +108,7 @@ from .robust import (
 )
 from .trainers.finetune import FedAvgFinetune
 from .simulation import (
+    DEVICE_PROFILES,
     EDGE_PHONE,
     RASPBERRY_PI,
     WORKSTATION,
@@ -148,6 +164,16 @@ __all__ = [
     "LocalTrainResult",
     "ClientSampler",
     "FixedSampler",
+    "AvailabilitySampler",
+    "SamplerSpec",
+    "ScenarioConfig",
+    "DataConfig",
+    "register_sampler",
+    "unregister_sampler",
+    "get_sampler",
+    "available_samplers",
+    "sampler_specs",
+    "build_sampler",
     "History",
     "RoundRecord",
     "fedavg_average",
@@ -182,6 +208,7 @@ __all__ = [
     "median_average",
     "trimmed_mean_average",
     "DeviceProfile",
+    "DEVICE_PROFILES",
     "WallClockModel",
     "time_to_accuracy",
     "compare_time_to_accuracy",

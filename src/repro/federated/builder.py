@@ -5,11 +5,24 @@ experiment run: it round-trips through ``to_dict``/``from_dict`` and
 ``to_json``/``from_json``, so a run can be stored next to its results and
 replayed bit-for-bit (``python -m repro run --config run.json``).
 
-Trainer dispatch is registry-driven: :func:`build_trainer` resolves
-``config.algorithm`` through :mod:`~repro.federated.registry`, forwards the
-config sections the trainer declared (``unstructured``/``structured``) and
-applies its declared ``LocalTrainConfig`` defaults — no if/elif chain, so
-a new algorithm only needs a ``@register_trainer`` decorator.
+Every pluggable axis is registry-driven, so construction has no if/elif
+chains anywhere:
+
+* ``config.algorithm`` resolves through
+  :mod:`~repro.federated.registry` (``@register_trainer``),
+* ``config.dataset`` and ``config.data.partition`` resolve through
+  :mod:`~repro.data.registry` (``@register_dataset`` /
+  ``@register_partitioner``),
+* ``config.scenario.sampler`` resolves through
+  :mod:`~repro.federated.scenario` (``@register_sampler``).
+
+The data scenario lives in the nested ``data``
+(:class:`~repro.data.partition.DataConfig`) and ``scenario``
+(:class:`~repro.federated.scenario.ScenarioConfig`) sections.  The
+historical flat fields (``n_train``, ``partition``, ``dirichlet_alpha``,
+…) are still accepted as constructor keywords and in ``from_dict``
+payloads — they fold into the ``data`` section, so PR-3-era stored configs
+keep loading and hash identically (:meth:`FederationConfig.stable_hash`).
 
 The canonical high-level entry point is the
 :class:`~repro.federated.federation.Federation` facade:
@@ -32,13 +45,14 @@ import json
 from dataclasses import asdict, dataclass, field, fields, is_dataclass, replace
 from typing import Any, Callable, Dict, List, Mapping
 
-from ..data import build_client_data, load_dataset
-from ..data.synthetic import SPECS
+from ..data import DataConfig, build_client_data, load_dataset
+from ..data.registry import get_dataset, get_partitioner
 from ..models import create_model
 from ..models.base import ConvNet
 from ..pruning import StructuredConfig, UnstructuredConfig
 from .client import FederatedClient, LocalTrainConfig
 from .execution import BACKENDS
+from .scenario import ScenarioConfig, build_sampler, get_sampler
 from . import trainers as _trainers  # noqa: F401  (populates the registry)
 from .registry import available_algorithms, get_trainer
 from .trainers.base import FederatedTrainer
@@ -48,7 +62,41 @@ _SECTION_TYPES = {
     "local": LocalTrainConfig,
     "unstructured": UnstructuredConfig,
     "structured": StructuredConfig,
+    "data": DataConfig,
+    "scenario": ScenarioConfig,
 }
+
+#: Pre-scenario flat field names: the exact ``data`` fields the PR-3 flat
+#: schema carried at the top level.  They anchor the canonical hash layout
+#: (see :meth:`FederationConfig._canonical_dict`).
+_LEGACY_DATA_FIELDS = (
+    "shards_per_client",
+    "n_train",
+    "n_test",
+    "val_fraction",
+    "partition",
+    "dirichlet_alpha",
+)
+
+#: ``data`` fields the PR-3 flat schema could not express; they join the
+#: canonical hash payload only when they leave their defaults.
+_POST_LEGACY_DATA_FIELDS = tuple(
+    name for name in DataConfig.field_names() if name not in _LEGACY_DATA_FIELDS
+)
+
+#: Every ``data`` field is also accepted as a flat constructor keyword /
+#: ``from_dict`` key and readable as a flat attribute — the historical
+#: spelling, kept working by :func:`_install_legacy_aliases`.
+_FLAT_DATA_FIELDS = DataConfig.field_names()
+
+
+def _jsonify(value: Any) -> Any:
+    """Normalize to what a JSON round-trip would produce (tuples → lists)."""
+    if isinstance(value, tuple):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _jsonify(item) for key, item in value.items()}
+    return value
 
 
 @dataclass(frozen=True)
@@ -57,7 +105,9 @@ class FederationConfig:
 
     The nested sections are plain frozen dataclasses, so the whole config
     serializes losslessly: ``FederationConfig.from_json(cfg.to_json())``
-    compares equal to ``cfg`` and reproduces the identical run.
+    compares equal to ``cfg`` and reproduces the identical run.  The
+    trailing init-only keywords (``n_train``, ``partition``, …) are the
+    historical flat spellings of the ``data`` section and fold into it.
     """
 
     dataset: str = "cifar10"
@@ -65,23 +115,25 @@ class FederationConfig:
     num_clients: int = 100
     rounds: int = 100
     sample_fraction: float = 0.1
-    shards_per_client: int = 2
-    n_train: int = 2000
-    n_test: int = 500
-    val_fraction: float = 0.1
     seed: int = 0
     eval_every: int = 0
-    partition: str = "shard"
-    dirichlet_alpha: float = 0.5
     backend: str = "serial"  # client-execution backend: serial/thread/process
     workers: int = 0  # worker count for parallel backends (0 = cpu count)
+    data: DataConfig = field(default_factory=DataConfig)
+    scenario: ScenarioConfig = field(default_factory=ScenarioConfig)
     local: LocalTrainConfig = field(default_factory=LocalTrainConfig)
     unstructured: UnstructuredConfig | None = None
     structured: StructuredConfig | None = None
 
     def __post_init__(self) -> None:
-        if self.dataset not in SPECS:
-            raise KeyError(f"unknown dataset {self.dataset!r}")
+        # Accept plain mappings for the nested sections (JSON ergonomics).
+        for section, section_cls in _SECTION_TYPES.items():
+            value = getattr(self, section)
+            if isinstance(value, Mapping):
+                object.__setattr__(self, section, section_cls(**value))
+        get_dataset(self.dataset)  # raises KeyError for unknown datasets
+        get_partitioner(self.data.partition)  # raises KeyError if unknown
+        get_sampler(self.scenario.sampler)  # raises KeyError if unknown
         if self.backend not in BACKENDS:
             raise KeyError(
                 f"unknown execution backend {self.backend!r}; "
@@ -99,14 +151,20 @@ class FederationConfig:
         payload: Dict[str, Any] = {}
         for spec in fields(self):
             value = getattr(self, spec.name)
-            payload[spec.name] = asdict(value) if is_dataclass(value) else value
+            payload[spec.name] = _jsonify(asdict(value)) if is_dataclass(value) else value
         return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "FederationConfig":
-        """Inverse of :meth:`to_dict`; unknown keys raise ``KeyError``."""
+        """Inverse of :meth:`to_dict`; unknown keys raise ``KeyError``.
+
+        Also accepts the historical flat schema (``n_train``,
+        ``partition``, … at the top level, no ``data``/``scenario``
+        sections), so stored PR-3-era payloads keep loading unchanged.
+        """
         data = dict(payload)
-        unknown = set(data) - {spec.name for spec in fields(cls)}
+        known = {spec.name for spec in fields(cls)} | set(_FLAT_DATA_FIELDS)
+        unknown = set(data) - known
         if unknown:
             raise KeyError(f"unknown FederationConfig fields: {sorted(unknown)}")
         for section, section_cls in _SECTION_TYPES.items():
@@ -122,6 +180,47 @@ class FederationConfig:
     def from_json(cls, text: str) -> "FederationConfig":
         return cls.from_dict(json.loads(text))
 
+    def _canonical_dict(self) -> Dict[str, Any]:
+        """Hash payload: the historical flat layout, extended only as needed.
+
+        Emitting the PR-3 flat schema — with the post-legacy ``data``
+        fields and the ``scenario`` section appearing only when they leave
+        their defaults — keeps :meth:`stable_hash` identical for every
+        config the old schema could express, so existing result stores
+        resume instead of recomputing.
+        """
+        payload: Dict[str, Any] = {
+            "dataset": self.dataset,
+            "algorithm": self.algorithm,
+            "num_clients": self.num_clients,
+            "rounds": self.rounds,
+            "sample_fraction": self.sample_fraction,
+            "shards_per_client": self.data.shards_per_client,
+            "n_train": self.data.n_train,
+            "n_test": self.data.n_test,
+            "val_fraction": self.data.val_fraction,
+            "seed": self.seed,
+            "eval_every": self.eval_every,
+            "partition": self.data.partition,
+            "dirichlet_alpha": self.data.dirichlet_alpha,
+            "backend": self.backend,
+            "workers": self.workers,
+            "local": asdict(self.local),
+            "unstructured": None if self.unstructured is None else asdict(self.unstructured),
+            "structured": None if self.structured is None else asdict(self.structured),
+        }
+        defaults = DataConfig()
+        data_extra = {
+            name: getattr(self.data, name)
+            for name in _POST_LEGACY_DATA_FIELDS
+            if getattr(self.data, name) != getattr(defaults, name)
+        }
+        if data_extra:
+            payload["data"] = data_extra
+        if self.scenario != ScenarioConfig():
+            payload["scenario"] = asdict(self.scenario)
+        return payload
+
     def stable_hash(self, extra: Mapping[str, Any] | None = None) -> str:
         """Content hash of this config (plus optional ``extra`` payload).
 
@@ -129,29 +228,74 @@ class FederationConfig:
         nesting level — so it is invariant to dict ordering and identical
         across processes and Python versions (unlike built-in ``hash``).
         Two configs hash equal iff they describe the same run, which is
-        what the sweep result store keys cells by.
+        what the sweep result store keys cells by.  Configs expressible in
+        the pre-scenario flat schema keep their historical hash (see
+        :meth:`_canonical_dict`).
         """
-        payload: Dict[str, Any] = {"config": self.to_dict()}
+        payload: Dict[str, Any] = {"config": self._canonical_dict()}
         if extra:
             payload["extra"] = dict(extra)
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
 
+def _install_legacy_aliases() -> None:
+    """Make the historical flat fields keep working on the nested schema.
+
+    Constructor keywords (``FederationConfig(n_train=120,
+    partition="dirichlet")``) fold into the ``data`` section, and attribute
+    reads (``config.n_train``) proxy to it.  The aliases are *not* dataclass
+    fields, so ``dataclasses.replace``, ``fields()`` and ``to_dict`` see
+    only the nested form — in particular ``replace(config, data=...)``
+    cannot resurrect stale flat values.
+    """
+    dataclass_init = FederationConfig.__init__
+
+    def compat_init(self, *args, **kwargs) -> None:
+        legacy = {
+            name: kwargs.pop(name)
+            for name in _FLAT_DATA_FIELDS
+            if kwargs.get(name) is not None
+        }
+        for name in _FLAT_DATA_FIELDS:
+            kwargs.pop(name, None)  # tolerate explicit None placeholders
+        dataclass_init(self, *args, **kwargs)
+        if legacy:
+            object.__setattr__(self, "data", replace(self.data, **legacy))
+            get_partitioner(self.data.partition)  # re-check the folded name
+
+    compat_init.__wrapped__ = dataclass_init
+    FederationConfig.__init__ = compat_init
+
+    def data_proxy(name: str) -> property:
+        def getter(self: FederationConfig):
+            return getattr(self.data, name)
+
+        getter.__doc__ = f"Alias for ``self.data.{name}`` (legacy flat field)."
+        return property(getter)
+
+    for name in _FLAT_DATA_FIELDS:
+        setattr(FederationConfig, name, data_proxy(name))
+
+
+_install_legacy_aliases()
+
+
 def make_clients(config: FederationConfig) -> List[FederatedClient]:
-    """Build the client population for ``config`` (data + model replicas)."""
+    """Build the client population for ``config`` (data + model replicas).
+
+    The dataset loader and partition strategy both resolve through the
+    :mod:`~repro.data.registry` registries.
+    """
     train_set, test_set = load_dataset(
-        config.dataset, config.n_train, config.n_test, seed=config.seed
+        config.dataset, config.data.n_train, config.data.n_test, seed=config.seed
     )
     bundles = build_client_data(
         train_set,
         test_set,
         num_clients=config.num_clients,
-        shards_per_client=config.shards_per_client,
-        val_fraction=config.val_fraction,
+        config=config.data,
         seed=config.seed,
-        partition=config.partition,
-        dirichlet_alpha=config.dirichlet_alpha,
     )
     local = config.local
     for name, default in get_trainer(config.algorithm).local_defaults.items():
@@ -176,8 +320,9 @@ def build_trainer(
     """Wire the configured algorithm's trainer over prepared clients.
 
     The trainer class and the config sections it consumes come from the
-    registry; ``overrides`` are extra keyword arguments forwarded verbatim
-    to the trainer constructor (e.g. ``aggregator=`` for ablations or
+    registry; the participation model comes from the scenario registry;
+    ``overrides`` are extra keyword arguments forwarded verbatim to the
+    trainer constructor (e.g. ``aggregator=`` for ablations or
     ``track_trajectory=`` for Figure 1).
     """
     spec = get_trainer(config.algorithm)
@@ -190,6 +335,9 @@ def build_trainer(
         eval_every=config.eval_every,
         backend=config.backend,
         workers=config.workers,
+        sampler=build_sampler(
+            config.scenario, len(clients), config.sample_fraction, config.seed
+        ),
     )
     for section in spec.config_sections:
         value = getattr(config, section)

@@ -1,8 +1,22 @@
-"""Client sampling per communication round."""
+"""Client sampling per communication round.
+
+Three participation models ship here; they (and any third-party model) are
+registered in :mod:`~repro.federated.scenario` and selected per run with
+``FederationConfig(scenario=ScenarioConfig(sampler=...))``:
+
+* :class:`ClientSampler` — the paper's uniform ``k = max(1, K*N)`` draw,
+* :class:`FixedSampler` — a pinned subset (deterministic tests, standalone),
+* :class:`AvailabilitySampler` — realistic fleets: per-client participation
+  probabilities (optionally derived from
+  :class:`~repro.federated.simulation.DeviceProfile` assignments, using the
+  same round-robin client→device rule as
+  :class:`~repro.federated.simulation.WallClockModel`) plus i.i.d.
+  per-round dropout.
+"""
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -42,13 +56,33 @@ class ClientSampler:
 
 
 class FixedSampler(ClientSampler):
-    """Always return the same subset (deterministic tests / standalone runs)."""
+    """Always return the same subset (deterministic tests / standalone runs).
 
-    def __init__(self, clients: Sequence[int]) -> None:
+    ``num_clients`` is the federation size the subset is drawn from; every
+    entry of ``clients`` must be a valid index into it, so fixed subsets
+    compose with availability masks and per-client device assignments.
+    When omitted it is inferred as ``max(clients) + 1`` for backward
+    compatibility.
+    """
+
+    def __init__(
+        self, clients: Sequence[int], num_clients: Optional[int] = None
+    ) -> None:
         if not clients:
             raise ValueError("FixedSampler needs at least one client")
-        super().__init__(num_clients=max(clients) + 1, sample_fraction=1.0)
-        self._fixed = sorted(int(index) for index in clients)
+        indices = [int(index) for index in clients]
+        if num_clients is None:
+            num_clients = max(indices) + 1
+        out_of_range = sorted(i for i in indices if not 0 <= i < num_clients)
+        if out_of_range:
+            raise ValueError(
+                f"client indices {out_of_range} out of range for "
+                f"num_clients={num_clients}"
+            )
+        if len(set(indices)) != len(indices):
+            raise ValueError(f"duplicate client indices in {indices}")
+        super().__init__(num_clients=num_clients, sample_fraction=1.0)
+        self._fixed = sorted(indices)
 
     @property
     def clients_per_round(self) -> int:
@@ -56,3 +90,89 @@ class FixedSampler(ClientSampler):
 
     def sample(self) -> List[int]:
         return list(self._fixed)
+
+
+class AvailabilitySampler(ClientSampler):
+    """Uniform candidate draw filtered by per-client availability + dropout.
+
+    Models a realistic fleet: the server invites a uniform subset each
+    round (as :class:`ClientSampler` does), but an invited client only
+    participates with its *availability probability* — a fixed per-client
+    trait — and then survives an i.i.d. per-round ``dropout`` (transient
+    failures).  At least one invited client always participates, since a
+    round with zero uploads is undefined.
+
+    Per-client probabilities come from one of (in precedence order):
+
+    * ``participation_probs`` — an explicit per-client sequence,
+    * ``profiles`` + ``profile_participation`` — device classes assigned
+      round-robin (``client_id % len(profiles)``, the exact rule
+      :meth:`~repro.federated.simulation.WallClockModel.profile_for` uses),
+      each class mapped to a probability — so the same slow device class
+      can both straggle in the wall-clock model and show up rarely here,
+    * ``participation`` ± ``participation_spread`` — a seeded uniform draw
+      per client, clipped to ``(0, 1]``.
+
+    Everything is drawn from the sampler's own seeded generator: two
+    samplers built with the same arguments produce identical rounds.
+    """
+
+    def __init__(
+        self,
+        num_clients: int,
+        sample_fraction: float = 0.1,
+        seed: Optional[int] = None,
+        participation: float = 1.0,
+        participation_spread: float = 0.0,
+        dropout: float = 0.0,
+        participation_probs: Optional[Sequence[float]] = None,
+        profiles: Optional[Sequence] = None,
+        profile_participation: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        super().__init__(num_clients, sample_fraction, seed=seed)
+        if not 0.0 < participation <= 1.0:
+            raise ValueError(f"participation must be in (0, 1], got {participation}")
+        if participation_spread < 0.0:
+            raise ValueError(
+                f"participation_spread must be >= 0, got {participation_spread}"
+            )
+        if not 0.0 <= dropout < 1.0:
+            raise ValueError(f"dropout must be in [0, 1), got {dropout}")
+        self.dropout = dropout
+        if participation_probs is not None:
+            probs = np.asarray(participation_probs, dtype=float)
+            if probs.shape != (num_clients,):
+                raise ValueError(
+                    f"participation_probs must have one entry per client "
+                    f"({num_clients}), got shape {probs.shape}"
+                )
+            if (probs <= 0).any() or (probs > 1).any():
+                raise ValueError("participation_probs must be in (0, 1]")
+        elif profiles is not None:
+            lookup = dict(profile_participation or {})
+            probs = np.array(
+                [
+                    lookup.get(profiles[i % len(profiles)].name, participation)
+                    for i in range(num_clients)
+                ],
+                dtype=float,
+            )
+        else:
+            low = participation - participation_spread
+            high = participation + participation_spread
+            probs = self._rng.uniform(low, high, size=num_clients)
+        self.participation_probs = np.clip(probs, 1e-9, 1.0)
+
+    def sample(self) -> List[int]:
+        """This round's participants: invited ∩ available ∩ not-dropped."""
+        invited = self._rng.choice(
+            self.num_clients, size=self.clients_per_round, replace=False
+        )
+        draws = self._rng.random(size=invited.size)
+        survive = self.participation_probs[invited] * (1.0 - self.dropout)
+        participants = invited[draws < survive]
+        if participants.size == 0:
+            # Never return an empty round; the seeded pick keeps determinism.
+            keep = self._rng.integers(invited.size)
+            participants = invited[[int(keep)]]
+        return sorted(int(index) for index in participants)

@@ -1,0 +1,207 @@
+"""Participation scenarios: the sampler registry and ``ScenarioConfig``.
+
+The third scenario axis (after dataset and partition) is *who shows up
+each round*.  This module mirrors the trainer and partitioner registries:
+a participation model registers a factory with :func:`register_sampler`
+and is selected per run via the ``scenario`` section of
+:class:`~repro.federated.builder.FederationConfig` — no edits to the
+builder or trainers:
+
+>>> from repro.federated.scenario import register_sampler
+>>> @register_sampler("every-other-round")
+... def every_other(num_clients, sample_fraction, seed, scenario):
+...     ...  # return a ClientSampler-compatible object
+
+Shipped models: ``uniform`` (the paper's protocol), ``fixed`` (a pinned
+subset), and ``availability`` (per-client participation probabilities plus
+i.i.d. dropout — see
+:class:`~repro.federated.sampler.AvailabilitySampler`, which also composes
+with :class:`~repro.federated.simulation.DeviceProfile` fleets).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from .registry import _first_doc_line
+from .sampler import AvailabilitySampler, ClientSampler, FixedSampler
+from .simulation import DEVICE_PROFILES
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Declarative description of the participation model of one run.
+
+    Serializes as the ``scenario`` section of a
+    :class:`~repro.federated.builder.FederationConfig`.  The default is the
+    paper's uniform sampling, so a config without a ``scenario`` section
+    (every pre-scenario payload) behaves exactly as before.
+
+    The ``availability`` model reads ``participation`` (±
+    ``participation_spread``) and ``dropout``, or — when set — the explicit
+    ``participation_probs`` (one probability per client), or ``profiles``
+    (device-class names from
+    :data:`~repro.federated.simulation.DEVICE_PROFILES`, assigned
+    round-robin) with ``profile_participation`` mapping each class name to
+    a probability.  ``fixed_clients`` pins the ``fixed`` model's subset.
+    Third-party samplers read whichever fields they need.
+    """
+
+    sampler: str = "uniform"
+    participation: float = 1.0
+    participation_spread: float = 0.0
+    dropout: float = 0.0
+    fixed_clients: Tuple[int, ...] = ()
+    participation_probs: Tuple[float, ...] = ()
+    profiles: Tuple[str, ...] = ()
+    profile_participation: Tuple[Tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        # JSON deserialization hands us lists; normalize to the hashable form.
+        if not isinstance(self.fixed_clients, tuple):
+            object.__setattr__(
+                self, "fixed_clients", tuple(int(i) for i in self.fixed_clients)
+            )
+        if not isinstance(self.participation_probs, tuple):
+            object.__setattr__(
+                self,
+                "participation_probs",
+                tuple(float(p) for p in self.participation_probs),
+            )
+        if not isinstance(self.profiles, tuple):
+            object.__setattr__(self, "profiles", tuple(self.profiles))
+        # Accept the natural mapping spelling ({"edge-phone": 0.2}) as well
+        # as pair sequences; canonicalize to name-sorted tuples so equal
+        # mappings compare (and hash) equal regardless of insertion order.
+        raw = self.profile_participation
+        items = raw.items() if isinstance(raw, Mapping) else raw
+        pairs = tuple(sorted((str(name), float(prob)) for name, prob in items))
+        if pairs != self.profile_participation:
+            object.__setattr__(self, "profile_participation", pairs)
+        if not 0.0 < self.participation <= 1.0:
+            raise ValueError(
+                f"participation must be in (0, 1], got {self.participation}"
+            )
+        if self.participation_spread < 0.0:
+            raise ValueError(
+                f"participation_spread must be >= 0, got {self.participation_spread}"
+            )
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError(f"dropout must be in [0, 1), got {self.dropout}")
+
+
+@dataclass(frozen=True)
+class SamplerSpec:
+    """One registry entry: the factory plus its description.
+
+    ``factory(num_clients, sample_fraction, seed, scenario)`` must return
+    an object with the :class:`~repro.federated.sampler.ClientSampler`
+    interface (``sample()`` and ``clients_per_round``).
+    """
+
+    name: str
+    factory: Callable[..., ClientSampler]
+    summary: str = ""
+
+
+_REGISTRY: Dict[str, SamplerSpec] = {}
+
+
+def register_sampler(name: str, *, summary: str = "") -> Callable:
+    """Decorator adding a sampler factory to the registry under ``name``."""
+
+    def decorator(factory: Callable) -> Callable:
+        if name in _REGISTRY:
+            raise ValueError(f"sampler {name!r} is already registered")
+        doc = summary or _first_doc_line(factory)
+        _REGISTRY[name] = SamplerSpec(name=name, factory=factory, summary=doc)
+        return factory
+
+    return decorator
+
+
+def get_sampler(name: str) -> SamplerSpec:
+    """Look up one registered sampler; raises ``KeyError`` for unknown names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown sampler {name!r}; choose from {available_samplers()}"
+        ) from None
+
+
+def available_samplers() -> Tuple[str, ...]:
+    """Registered sampler names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def sampler_specs() -> Tuple[SamplerSpec, ...]:
+    """All sampler registry entries, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+def unregister_sampler(name: str) -> SamplerSpec:
+    """Remove one entry (plugin teardown / test isolation); returns it."""
+    try:
+        return _REGISTRY.pop(name)
+    except KeyError:
+        raise KeyError(f"sampler {name!r} is not registered") from None
+
+
+def build_sampler(
+    scenario: ScenarioConfig,
+    num_clients: int,
+    sample_fraction: float,
+    seed: int,
+) -> ClientSampler:
+    """Instantiate the configured participation model via the registry."""
+    return get_sampler(scenario.sampler).factory(
+        num_clients, sample_fraction, seed, scenario
+    )
+
+
+@register_sampler("uniform", summary="uniform k = max(1, K*N) draw (paper protocol)")
+def _uniform_sampler(
+    num_clients: int, sample_fraction: float, seed: int, scenario: ScenarioConfig
+) -> ClientSampler:
+    return ClientSampler(num_clients, sample_fraction, seed=seed)
+
+
+@register_sampler("fixed", summary="pinned client subset every round")
+def _fixed_sampler(
+    num_clients: int, sample_fraction: float, seed: int, scenario: ScenarioConfig
+) -> FixedSampler:
+    # An empty fixed_clients pins the whole federation.
+    clients = scenario.fixed_clients or tuple(range(num_clients))
+    return FixedSampler(clients, num_clients=num_clients)
+
+
+@register_sampler(
+    "availability",
+    summary="per-client participation probabilities + per-round dropout",
+)
+def _availability_sampler(
+    num_clients: int, sample_fraction: float, seed: int, scenario: ScenarioConfig
+) -> AvailabilitySampler:
+    profiles = None
+    if scenario.profiles:
+        unknown = [name for name in scenario.profiles if name not in DEVICE_PROFILES]
+        if unknown:
+            raise KeyError(
+                f"unknown device profile(s) {unknown}; "
+                f"choose from {sorted(DEVICE_PROFILES)}"
+            )
+        profiles = [DEVICE_PROFILES[name] for name in scenario.profiles]
+    return AvailabilitySampler(
+        num_clients,
+        sample_fraction,
+        seed=seed,
+        participation=scenario.participation,
+        participation_spread=scenario.participation_spread,
+        dropout=scenario.dropout,
+        participation_probs=scenario.participation_probs or None,
+        profiles=profiles,
+        profile_participation=dict(scenario.profile_participation) or None,
+    )

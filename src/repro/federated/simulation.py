@@ -69,6 +69,12 @@ WORKSTATION = DeviceProfile(
     download_bytes_per_second=1.25e7,
 )
 
+#: Built-in profiles by name — how serialized configs reference a device
+#: class (``ScenarioConfig(profiles=("edge-phone", "raspberry-pi"))``).
+DEVICE_PROFILES: Dict[str, DeviceProfile] = {
+    profile.name: profile for profile in (EDGE_PHONE, RASPBERRY_PI, WORKSTATION)
+}
+
 
 class WallClockModel:
     """Prices federated rounds in seconds under per-client device profiles."""

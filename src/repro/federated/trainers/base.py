@@ -57,6 +57,7 @@ class FederatedTrainer:
         eval_every: int = 0,
         backend: Union[str, ExecutionBackend, None] = "serial",
         workers: int = 0,
+        sampler: Optional[ClientSampler] = None,
     ) -> None:
         if rounds < 1:
             raise ValueError(f"rounds must be >= 1, got {rounds}")
@@ -66,7 +67,14 @@ class FederatedTrainer:
         self.model_fn = model_fn
         self.rounds = rounds
         self.eval_every = eval_every
-        self.sampler = ClientSampler(len(clients), sample_fraction, seed=seed)
+        # The participation model is injectable (see the scenario registry
+        # in repro.federated.scenario); the default reproduces the paper's
+        # uniform protocol exactly.
+        self.sampler = (
+            sampler
+            if sampler is not None
+            else ClientSampler(len(clients), sample_fraction, seed=seed)
+        )
         self.global_state: Dict[str, np.ndarray] = model_fn().state_dict()
         self.history = History(algorithm=self.algorithm_name)
         self.total_params = int(sum(v.size for v in self.global_state.values()))

@@ -4,7 +4,13 @@ from .base import ConvNet, ConvUnit
 from .cnn import CNN5
 from .lenet import LeNet5
 from .mlp import MLP
-from .registry import create_model, input_spatial_size, parameter_census
+from .registry import (
+    create_model,
+    input_spatial_size,
+    parameter_census,
+    register_model,
+    unregister_model,
+)
 from .vgg import VGGLite
 
 __all__ = [
@@ -15,6 +21,8 @@ __all__ = [
     "MLP",
     "VGGLite",
     "create_model",
+    "register_model",
+    "unregister_model",
     "input_spatial_size",
     "parameter_census",
 ]

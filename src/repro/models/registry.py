@@ -4,6 +4,12 @@
 LeNet-5 for CIFAR-10/100.  ``create_model`` reproduces that pairing and
 seeds initialization so that all clients and the server can be constructed
 from the identical ``theta_0`` the algorithms require.
+
+The pairing is extensible: a dataset registered through
+:func:`repro.data.registry.register_dataset` gets a model in one of two
+ways — either it registers its own builder with :func:`register_model`, or
+it falls back to a shape-generic MLP over the flattened input (so a
+third-party scenario runs end-to-end with zero model code).
 """
 
 from __future__ import annotations
@@ -16,7 +22,11 @@ from ..data.synthetic import SPECS
 from .base import ConvNet
 from .cnn import CNN5
 from .lenet import LeNet5
+from .mlp import MLP
 
+#: dataset name -> builder(num_classes, in_channels, rng).  The paper's
+#: architectures are input-size-specific (their FC dimensions assume 28x28
+#: and 32x32 inputs), hence the per-dataset pairing.
 _BUILDERS: Dict[str, Callable[..., ConvNet]] = {
     "mnist": lambda num_classes, in_channels, rng: CNN5(num_classes, in_channels, rng),
     "emnist": lambda num_classes, in_channels, rng: CNN5(num_classes, in_channels, rng),
@@ -25,14 +35,49 @@ _BUILDERS: Dict[str, Callable[..., ConvNet]] = {
 }
 
 
+def register_model(dataset: str) -> Callable:
+    """Decorator pairing a model builder with a registered dataset.
+
+    The builder receives ``(num_classes, in_channels, rng)`` and must
+    return a :class:`~repro.models.base.ConvNet`:
+
+    >>> @register_model("my-data")
+    ... def build(num_classes, in_channels, rng):
+    ...     return CNN5(num_classes, in_channels, rng)
+    """
+
+    def decorator(builder: Callable[..., ConvNet]) -> Callable[..., ConvNet]:
+        if dataset in _BUILDERS:
+            raise ValueError(f"a model is already registered for {dataset!r}")
+        _BUILDERS[dataset] = builder
+        return builder
+
+    return decorator
+
+
+def unregister_model(dataset: str) -> Callable[..., ConvNet]:
+    """Remove one pairing (plugin teardown / test isolation); returns it."""
+    try:
+        return _BUILDERS.pop(dataset)
+    except KeyError:
+        raise KeyError(f"no model is registered for {dataset!r}") from None
+
+
 def create_model(dataset: str, seed: int = 0, num_classes: Optional[int] = None) -> ConvNet:
-    """Build the paper's architecture for ``dataset`` with seeded init."""
-    if dataset not in _BUILDERS:
-        raise KeyError(f"no model registered for dataset {dataset!r}")
+    """Build the architecture paired with ``dataset``, with seeded init.
+
+    Datasets without a registered builder (third-party scenario plugins)
+    fall back to an MLP over the flattened input — shape-agnostic, so any
+    registered dataset trains out of the box.
+    """
     spec = SPECS[dataset]
     classes = num_classes if num_classes is not None else spec.num_classes
     rng = np.random.default_rng(seed)
-    return _BUILDERS[dataset](classes, spec.shape[0], rng)
+    builder = _BUILDERS.get(dataset)
+    if builder is None:
+        in_features = int(np.prod(spec.shape))
+        return MLP(in_features, classes, hidden=(64,), rng=rng)
+    return builder(classes, spec.shape[0], rng)
 
 
 def input_spatial_size(dataset: str) -> int:

@@ -6,12 +6,17 @@ from hypothesis import given, settings, strategies as st
 
 from repro.data import (
     ArrayDataset,
+    DataConfig,
     build_client_data,
     dirichlet_partition,
+    iid_partition,
     label_distribution,
+    label_k_partition,
     label_overlap,
     label_test_view,
     load_dataset,
+    partition_indices,
+    quantity_skew_partition,
     shard_partition,
 )
 
@@ -104,6 +109,134 @@ class TestDirichletPartition:
         with pytest.raises(ValueError):
             dirichlet_partition(balanced_labels(100, 5), 4, alpha=0.0, rng=rng)
 
+    def test_exhausted_attempts_error_carries_context(self, rng):
+        """The resample loop is bounded and its failure names the inputs."""
+        with pytest.raises(RuntimeError) as excinfo:
+            dirichlet_partition(
+                balanced_labels(10, 2), 5, alpha=0.1, rng=rng,
+                min_size=5, max_attempts=3,
+            )
+        message = str(excinfo.value)
+        assert "alpha=0.1" in message
+        assert "num_clients=5" in message
+        assert "3 attempts" in message
+        assert ">= 5" in message
+
+    def test_min_size_and_attempts_come_from_config(self):
+        """DataConfig carries the resample knobs; dispatch forwards them."""
+        labels = balanced_labels(500, 5)
+        config = DataConfig(
+            partition="dirichlet", dirichlet_alpha=0.3, min_size=7, max_attempts=50
+        )
+        parts = partition_indices(labels, 5, config, np.random.default_rng(0))
+        assert min(len(part) for part in parts) >= 7
+
+
+class TestIIDPartition:
+    def test_even_cover(self, rng):
+        labels = balanced_labels(103, 10)
+        parts = iid_partition(labels, 4, rng=rng)
+        merged = np.concatenate(parts)
+        assert len(set(merged.tolist())) == 103
+        sizes = sorted(len(part) for part in parts)
+        assert sizes[-1] - sizes[0] <= 1
+
+    def test_deterministic_with_seed(self):
+        labels = balanced_labels(200, 10)
+        a = iid_partition(labels, 8, rng=np.random.default_rng(3))
+        b = iid_partition(labels, 8, rng=np.random.default_rng(3))
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_near_global_label_mix(self):
+        labels = balanced_labels(2000, 10)
+        parts = iid_partition(labels, 4, rng=np.random.default_rng(0))
+        for part in parts:
+            _, counts = np.unique(labels[part], return_counts=True)
+            # Every class present, no class dominating: the IID control.
+            assert len(counts) == 10
+            assert counts.max() / counts.sum() < 0.25
+
+
+class TestQuantitySkewPartition:
+    def test_covers_everything_and_respects_floor(self):
+        labels = balanced_labels(600, 10)
+        parts = quantity_skew_partition(
+            labels, 8, alpha=0.3, rng=np.random.default_rng(0), min_size=4
+        )
+        merged = np.concatenate(parts)
+        assert len(set(merged.tolist())) == 600
+        assert min(len(part) for part in parts) >= 4
+
+    def test_low_alpha_concentrates_sizes(self):
+        """Lower alpha -> heavier size skew (higher max/min client ratio)."""
+        labels = balanced_labels(4000, 10)
+        ratios = {}
+        for alpha in (0.2, 100.0):
+            sizes = [
+                len(part)
+                for part in quantity_skew_partition(
+                    labels, 10, alpha=alpha, rng=np.random.default_rng(1)
+                )
+            ]
+            ratios[alpha] = max(sizes) / min(sizes)
+        assert ratios[0.2] > ratios[100.0]
+
+    def test_deterministic_with_seed(self):
+        labels = balanced_labels(300, 5)
+        a = quantity_skew_partition(labels, 6, 0.5, np.random.default_rng(9))
+        b = quantity_skew_partition(labels, 6, 0.5, np.random.default_rng(9))
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ValueError):
+            quantity_skew_partition(balanced_labels(100, 5), 4, alpha=0.0, rng=rng)
+        with pytest.raises(ValueError, match="cannot give"):
+            quantity_skew_partition(
+                balanced_labels(10, 2), 8, alpha=1.0, rng=rng, min_size=5
+            )
+
+
+class TestLabelKPartition:
+    def test_each_client_sees_exactly_k_labels(self):
+        labels = balanced_labels(1000, 10)
+        for k in (1, 2, 3):
+            parts = label_k_partition(
+                labels, 5, labels_per_client=k, rng=np.random.default_rng(0)
+            )
+            for part in parts:
+                assert len(np.unique(labels[part])) == k
+
+    def test_all_labels_covered_when_slots_suffice(self):
+        labels = balanced_labels(1000, 10)
+        parts = label_k_partition(
+            labels, 5, labels_per_client=2, rng=np.random.default_rng(0)
+        )
+        owned = set()
+        for part in parts:
+            owned.update(np.unique(labels[part]).tolist())
+        assert owned == set(range(10))
+
+    def test_examples_not_duplicated(self):
+        labels = balanced_labels(500, 10)
+        parts = label_k_partition(
+            labels, 10, labels_per_client=3, rng=np.random.default_rng(2)
+        )
+        merged = np.concatenate(parts)
+        assert len(merged) == len(set(merged.tolist()))
+
+    def test_deterministic_with_seed(self):
+        labels = balanced_labels(400, 8)
+        a = label_k_partition(labels, 6, 2, np.random.default_rng(5))
+        b = label_k_partition(labels, 6, 2, np.random.default_rng(5))
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_invalid_k(self, rng):
+        with pytest.raises(ValueError, match="labels_per_client"):
+            label_k_partition(balanced_labels(100, 5), 4, labels_per_client=6, rng=rng)
+
 
 class TestClientData:
     def make_federation(self, **kwargs):
@@ -152,8 +285,21 @@ class TestClientData:
 
     def test_unknown_partition_raises(self):
         train, test = load_dataset("mnist", 200, 50, seed=0)
-        with pytest.raises(ValueError):
+        with pytest.raises(KeyError, match="unknown partition strategy"):
             build_client_data(train, test, num_clients=4, partition="bogus")
+
+    def test_data_config_object_accepted(self):
+        train, test = load_dataset("mnist", 200, 50, seed=0)
+        config = DataConfig(partition="dirichlet", dirichlet_alpha=1.0)
+        clients = build_client_data(train, test, num_clients=4, config=config, seed=0)
+        assert len(clients) == 4
+
+    def test_legacy_positional_shards_arg_rejected_clearly(self):
+        """The old 4th positional (shards_per_client) gets a clear error,
+        not a late AttributeError on an int."""
+        train, test = load_dataset("mnist", 200, 50, seed=0)
+        with pytest.raises(TypeError, match="keyword-only"):
+            build_client_data(train, test, 4, 2)
 
 
 class TestLabelOverlap:

@@ -1,5 +1,7 @@
 """CLI: the `list` subcommand and serialized-config runs."""
 
+import pytest
+
 from repro.cli import build_parser, main
 from repro.federated import FederationConfig, LocalTrainConfig, available_algorithms
 
@@ -67,3 +69,30 @@ class TestConfigRuns:
         restored = FederationConfig.from_json(config_path.read_text())
         assert restored.algorithm == "fedavg"
         assert restored.num_clients == 8  # smoke preset sizing
+
+    def test_scenario_flags_and_set_overrides_reach_the_config(self, tmp_path):
+        config_path = tmp_path / "run.json"
+        assert main(
+            ["run", "--dataset", "mnist", "--algorithm", "fedavg",
+             "--partition", "dirichlet", "--sampler", "availability",
+             "--set", "data.dirichlet_alpha=0.2", "--set", "scenario.dropout=0.1",
+             "--set", "rounds=7",
+             "--export-config", str(config_path)]
+        ) == 0
+        restored = FederationConfig.from_json(config_path.read_text())
+        assert restored.data.partition == "dirichlet"
+        assert restored.data.dirichlet_alpha == 0.2
+        assert restored.scenario.sampler == "availability"
+        assert restored.scenario.dropout == 0.1
+        assert restored.rounds == 7
+
+    def test_bad_set_overrides_exit_cleanly(self):
+        for assignment in (
+            "data.no_such_field=1",     # unknown field -> TypeError
+            "scenario.dropout=1.5",     # rejected value -> ValueError
+            "data.partition=bogus",     # unknown registry name -> KeyError
+            "malformed",                # no '=' at all
+        ):
+            with pytest.raises(SystemExit):
+                main(["run", "--dataset", "mnist", "--algorithm", "fedavg",
+                      "--set", assignment, "--export-config", "/dev/null"])

@@ -178,6 +178,29 @@ class TestOverrideCollision:
         assert config.partition == "dirichlet"
         assert config.backend == "thread"
 
+    def test_registry_override_helpers_flow_through(self):
+        """partition_override/sampler_override dicts work as overrides,
+        including partitioner params outside the legacy flat six."""
+        from repro.experiments import partition_override, sampler_override
+
+        overrides = {
+            **partition_override("label-k", labels_per_client=3),
+            **sampler_override("availability", dropout=0.25),
+        }
+        config = federation_config("mnist", "fedavg", get_preset("smoke"), **overrides)
+        assert config.data.partition == "label-k"
+        assert config.data.labels_per_client == 3
+        assert config.scenario.sampler == "availability"
+        assert config.scenario.dropout == 0.25
+
+    def test_override_helpers_validate_names_at_declaration(self):
+        from repro.experiments import partition_override, sampler_override
+
+        with pytest.raises(KeyError, match="unknown partition strategy"):
+            partition_override("bogus")
+        with pytest.raises(KeyError, match="unknown sampler"):
+            sampler_override("bogus")
+
 
 class TestFailureIsolation:
     def test_one_failing_cell_does_not_kill_the_sweep(self):

@@ -1,8 +1,16 @@
 """The Federation facade and FederationConfig serialization round-trips."""
 
+import dataclasses
+
 import pytest
 
-from repro.federated import Federation, FederationConfig, LocalTrainConfig
+from repro.federated import (
+    DataConfig,
+    Federation,
+    FederationConfig,
+    LocalTrainConfig,
+    ScenarioConfig,
+)
 from repro.pruning import StructuredConfig, UnstructuredConfig
 
 
@@ -61,6 +69,120 @@ class TestConfigSerialization:
         second = FederationConfig(dataset="mnist", algorithm="fedavg")
         assert first.local == second.local
         assert first.local is not second.local
+
+    def test_nested_sections_round_trip(self):
+        config = tiny_config(
+            data=DataConfig(partition="label-k", labels_per_client=3, n_train=120),
+            scenario=ScenarioConfig(
+                sampler="availability", participation=0.8, dropout=0.1
+            ),
+        )
+        restored = FederationConfig.from_json(config.to_json())
+        assert restored == config
+        assert restored.data.labels_per_client == 3
+        assert restored.scenario.dropout == 0.1
+
+
+#: A verbatim PR-3-era (pre-scenario, flat schema) payload: no
+#: ``data``/``scenario`` sections, data fields at the top level.
+LEGACY_PAYLOAD = {
+    "dataset": "mnist",
+    "algorithm": "fedavg",
+    "num_clients": 3,
+    "rounds": 2,
+    "sample_fraction": 1.0,
+    "shards_per_client": 2,
+    "n_train": 120,
+    "n_test": 60,
+    "val_fraction": 0.1,
+    "seed": 0,
+    "eval_every": 0,
+    "partition": "shard",
+    "dirichlet_alpha": 0.5,
+    "backend": "serial",
+    "workers": 0,
+    "local": {
+        "lr": 0.01, "momentum": 0.5, "weight_decay": 0.0,
+        "batch_size": 10, "epochs": 1, "prox_mu": 0.0, "mtl_lambda": 0.0,
+    },
+    "unstructured": None,
+    "structured": None,
+}
+
+
+class TestLegacyConfigMigration:
+    """PR-3-era flat payloads keep loading, running and hashing identically."""
+
+    def test_flat_payload_equals_nested_equivalent(self):
+        legacy = FederationConfig.from_dict(LEGACY_PAYLOAD)
+        nested = tiny_config(
+            data=DataConfig(n_train=120, n_test=60), n_train=None, n_test=None
+        )
+        assert legacy == nested
+        assert legacy.data == DataConfig(n_train=120, n_test=60)
+        assert legacy.scenario == ScenarioConfig()
+
+    def test_flat_constructor_kwargs_still_fold_into_data(self):
+        config = FederationConfig(
+            dataset="mnist", algorithm="fedavg",
+            partition="dirichlet", dirichlet_alpha=0.3, shards_per_client=3,
+        )
+        assert config.data.partition == "dirichlet"
+        assert config.data.dirichlet_alpha == 0.3
+        # The flat read aliases proxy to the data section.
+        assert config.partition == "dirichlet"
+        assert config.shards_per_client == 3
+
+    def test_post_legacy_data_fields_accepted_flat_too(self):
+        """Every DataConfig field works as a flat keyword, not just the
+        six the old schema had — so registry-declared partitioner knobs
+        (labels_per_client, min_size, ...) are reachable from overrides."""
+        config = FederationConfig(
+            dataset="mnist", algorithm="fedavg",
+            partition="label-k", labels_per_client=3, min_size=4,
+        )
+        assert config.data.labels_per_client == 3
+        assert config.data.min_size == 4
+        assert config.labels_per_client == 3
+
+    def test_stable_hash_unchanged_from_flat_schema_era(self):
+        """Hashes pinned from the PR-3 tree: result stores must resume."""
+        legacy = FederationConfig.from_dict(LEGACY_PAYLOAD)
+        assert legacy.stable_hash() == "227805adad4471c4"
+        assert (
+            legacy.stable_hash(
+                extra={"trainer_overrides": {"aggregator": "zerofill"}}
+            )
+            == "57fd28bf6f291a04"
+        )
+        dirichlet = FederationConfig(
+            dataset="emnist", algorithm="sub-fedavg-un",
+            partition="dirichlet", dirichlet_alpha=0.3, shards_per_client=3,
+            unstructured=UnstructuredConfig(target_rate=0.5, step=0.2),
+        )
+        assert dirichlet.stable_hash() == "4d9e3dbba52508f6"
+
+    def test_new_scenario_fields_do_change_the_hash(self):
+        base = tiny_config()
+        availability = dataclasses.replace(
+            base, scenario=ScenarioConfig(sampler="availability", dropout=0.2)
+        )
+        label_k = dataclasses.replace(
+            base, data=dataclasses.replace(base.data, partition="label-k")
+        )
+        assert availability.stable_hash() != base.stable_hash()
+        assert label_k.stable_hash() != base.stable_hash()
+
+    def test_flat_payload_replays_identically_to_nested(self):
+        legacy_run = Federation.from_dict(LEGACY_PAYLOAD).run()
+        nested_run = Federation.from_config(
+            tiny_config(data=DataConfig(n_train=120, n_test=60), n_train=None, n_test=None)
+        ).run()
+        assert legacy_run.final_accuracy == nested_run.final_accuracy
+        assert (
+            legacy_run.final_per_client_accuracy
+            == nested_run.final_per_client_accuracy
+        )
 
 
 class TestFederationFacade:

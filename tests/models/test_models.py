@@ -87,6 +87,33 @@ class TestRegistry:
         with pytest.raises(KeyError):
             create_model("svhn")
 
+    def test_registered_dataset_without_builder_falls_back_to_mlp(self):
+        """Third-party datasets train out of the box on a flattened MLP."""
+        from repro.data.registry import register_dataset, unregister_dataset
+        from repro.data.synthetic import DatasetSpec
+        from repro.models import register_model, unregister_model
+
+        spec = DatasetSpec("odd-shape", (2, 7, 9), 5, signal=1.0, noise=1.0, max_shift=0)
+        register_dataset(spec)(lambda s, n_train, n_test, seed: None)
+        try:
+            fallback = create_model("odd-shape", seed=0)
+            assert isinstance(fallback, MLP)
+            assert fallback.num_classes == 5
+
+            @register_model("odd-shape")
+            def build(num_classes, in_channels, rng):
+                return MLP(2 * 7 * 9, num_classes, hidden=(4,), rng=rng)
+
+            registered = create_model("odd-shape", seed=0)
+            assert isinstance(registered, MLP)
+            # Teardown restores the fallback path.
+            assert unregister_model("odd-shape") is build
+            assert isinstance(create_model("odd-shape", seed=0), MLP)
+        finally:
+            unregister_dataset("odd-shape")
+        with pytest.raises(KeyError, match="no model is registered"):
+            unregister_model("odd-shape")
+
     def test_input_spatial_size(self):
         assert input_spatial_size("mnist") == 28
         assert input_spatial_size("cifar10") == 32
