@@ -56,6 +56,7 @@ from .experiments import (
     federation_config,
     fig2_spec,
     fig3_spec,
+    fleet_spec,
     gate_spec,
     get_preset,
     fig2_series,
@@ -72,6 +73,7 @@ from .experiments import (
     run_sparsity_sweep,
     run_table1,
     run_table2,
+    seconds_to_target,
     smoke_spec,
     table1_spec,
 )
@@ -80,9 +82,15 @@ from .federated import (
     Federation,
     FederationConfig,
     ProgressLogger,
+    ScenarioConfig,
+    SystemsConfig,
     available_algorithms,
     available_backends,
+    available_fleets,
+    available_round_policies,
     available_samplers,
+    fleet_specs,
+    round_policy_specs,
     sampler_specs,
     trainer_specs,
 )
@@ -115,6 +123,25 @@ def build_parser() -> argparse.ArgumentParser:
             choices=available_samplers(),
             default=None,
             help="client-participation model (default: the config's, i.e. uniform)",
+        )
+        p.add_argument(
+            "--fleet",
+            choices=available_fleets(),
+            default=None,
+            help="client-device fleet shape (default: the config's, i.e. tiers)",
+        )
+        p.add_argument(
+            "--round-policy",
+            choices=available_round_policies(),
+            default=None,
+            help="enable fleet simulation under this round-completion policy",
+        )
+        p.add_argument(
+            "--deadline",
+            type=float,
+            default=None,
+            help="round budget in simulated seconds (implies "
+            "--round-policy deadline)",
         )
 
     list_cmd = sub.add_parser(
@@ -265,6 +292,12 @@ def _cmd_list(args) -> int:
     print("samplers:")
     for spec in sampler_specs():
         print(f"  {spec.name:18s} {spec.summary}")
+    print("fleets:")
+    for spec in fleet_specs():
+        print(f"  {spec.name:18s} {spec.summary}")
+    print("round-policies:")
+    for spec in round_policy_specs():
+        print(f"  {spec.name:18s} {spec.summary}")
     print("presets:")
     for preset in PRESETS.values():
         print(
@@ -289,13 +322,47 @@ def _resolve_run_config(args) -> FederationConfig:
         overrides["workers"] = args.workers
     if getattr(args, "partition", None) is not None:
         overrides["data"] = replace(config.data, partition=args.partition)
+    scenario_changes = {}
     if getattr(args, "sampler", None) is not None:
-        overrides["scenario"] = replace(config.scenario, sampler=args.sampler)
+        scenario_changes["sampler"] = args.sampler
+    if getattr(args, "fleet", None) is not None:
+        scenario_changes["fleet"] = args.fleet
+    if scenario_changes:
+        overrides["scenario"] = replace(config.scenario, **scenario_changes)
+    systems = _systems_from_flags(args, config.systems)
+    if systems is not None:
+        overrides["systems"] = systems
     if overrides:
         config = replace(config, **overrides)
     for assignment in getattr(args, "set_overrides", []):
         config = _apply_set_override(config, assignment)
     return config
+
+
+def _systems_from_flags(args, current: SystemsConfig | None) -> SystemsConfig | None:
+    """Fold ``--round-policy``/``--deadline`` into a ``systems`` section.
+
+    ``--deadline`` alone implies the deadline policy; either flag enables
+    fleet simulation on a config that had none.  Returns None when the
+    flags leave the config's systems section untouched.
+    """
+    policy = getattr(args, "round_policy", None)
+    deadline = getattr(args, "deadline", None)
+    if policy is None and deadline is None:
+        return None
+    base = current if current is not None else SystemsConfig()
+    changes = {}
+    if deadline is not None:
+        changes["deadline_seconds"] = deadline
+        policy = policy or "deadline"
+    if policy is not None:
+        changes["round_policy"] = policy
+    try:
+        return replace(base, **changes)
+    except (KeyError, ValueError) as error:
+        # e.g. --round-policy deadline without --deadline: surface the
+        # config validation message as a clean CLI error.
+        raise SystemExit(f"--round-policy/--deadline: {error}") from None
 
 
 def _apply_set_override(config: FederationConfig, assignment: str) -> FederationConfig:
@@ -342,6 +409,14 @@ def _cmd_run(args) -> int:
     print(f"{config.algorithm} on {config.dataset} ({config.num_clients} clients):")
     print(f"  final personalized accuracy: {history.final_accuracy:.4f}")
     print(f"  total communication: {history.total_communication_gb:.4f} GB")
+    if history.total_simulated_seconds is not None:
+        from .systems.report import total_stragglers
+
+        print(
+            f"  simulated fleet time: {history.total_simulated_seconds:.1f} s "
+            f"({config.systems.round_policy if config.systems else 'wall-clock'} "
+            f"policy, {total_stragglers(history)} straggler uploads)"
+        )
     if args.save:
         save_history(args.save, history)
         print(f"  history saved to {args.save}")
@@ -369,6 +444,7 @@ SWEEP_GRIDS = {
     "ablate-step": lambda args: pruning_step_spec(
         args.dataset, preset=args.preset, seed=args.seed
     ),
+    "fleet": lambda args: fleet_spec(args.dataset, preset=args.preset, seed=args.seed),
 }
 
 
@@ -387,13 +463,20 @@ def _cmd_sweep(args) -> int:
             file=sys.stderr,
         )
     spec = SWEEP_GRIDS[args.grid](args)
-    # --partition/--sampler re-base every cell of the grid on a different
-    # scenario (cells that pin their own partition override still win).
+    # --partition/--sampler/--fleet/--round-policy re-base every cell of
+    # the grid on a different scenario (cells that pin their own override
+    # still win).
     base = dict(spec.base)
     if args.partition is not None:
         base.update(partition_override(args.partition))
     if args.sampler is not None:
         base.update(sampler_override(args.sampler))
+    if args.fleet is not None:
+        scenario = base.get("scenario") or ScenarioConfig()
+        base["scenario"] = replace(scenario, fleet=args.fleet)
+    systems = _systems_from_flags(args, base.get("systems"))
+    if systems is not None:
+        base["systems"] = systems
     spec.base = base
     if args.partition is not None:
         pinned = [
@@ -442,7 +525,12 @@ def _cmd_sweep(args) -> int:
             if cell_result.ok and cell_result.history.final_accuracy is not None
             else ""
         )
-        print(f"  [{status:>7s}] {cell_result.key} {accuracy}")
+        simulated = ""
+        if cell_result.ok:
+            seconds = cell_result.history.total_simulated_seconds
+            if seconds is not None:
+                simulated = f" t={seconds:.1f}s"
+        print(f"  [{status:>7s}] {cell_result.key} {accuracy}{simulated}")
     print(
         f"sweep {spec.name!r}: executed {len(result.executed)} cells, "
         f"reused {len(result.reused)} cached, {len(result.failed)} failed "
@@ -486,6 +574,11 @@ def _cmd_fig3(args) -> int:
         formatted = ", ".join(f"{accuracy:.3f}" for _, accuracy in curve)
         print(f"  {name:14s}: {formatted}")
     print(f"rounds to {args.target:.0%}: {rounds_to_target(histories, args.target)}")
+    times = seconds_to_target(histories, args.target)
+    if any(seconds is not None for seconds in times.values()):
+        # Only meaningful when rounds carry simulated/wall-clock pricing
+        # (a systems-configured run or a FleetSimCallback/WallClockCallback).
+        print(f"simulated seconds to {args.target:.0%}: {times}")
     return 0
 
 

@@ -25,6 +25,10 @@ import numpy as np
 
 from ..federated import History
 from ..pruning import UnstructuredConfig
+from ..systems.report import (
+    compare_simulated_time_to_accuracy,
+    simulated_time_curve,
+)
 from .sweep import ResultStore, SweepSpec, Variant, run_sweep
 
 
@@ -232,6 +236,36 @@ def rounds_to_target(
         name: history.rounds_to_accuracy(target_accuracy)
         for name, history in histories.items()
     }
+
+
+def fig3_time_series(
+    histories: Dict[str, History],
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Algorithm → (cumulative simulated seconds, mean accuracy) series.
+
+    The Figure-3 curves re-based onto the deployment-relevant time axis:
+    rounds priced by the fleet simulator (``simulated_seconds``, stamped
+    by a ``systems``-configured run or a
+    :class:`~repro.systems.callback.FleetSimCallback`), falling back to
+    legacy ``wall_clock_seconds`` annotations.
+    """
+    return {
+        name: simulated_time_curve(history) for name, history in histories.items()
+    }
+
+
+def seconds_to_target(
+    histories: Dict[str, History], target_accuracy: float
+) -> Dict[str, object]:
+    """Simulated seconds each algorithm needed to reach the target.
+
+    The time-axis twin of :func:`rounds_to_target` (a thin alias for
+    :func:`repro.systems.report.compare_simulated_time_to_accuracy`):
+    under a deadline or async round policy an algorithm can win on
+    seconds while losing on rounds (more rounds, but each one far
+    cheaper).
+    """
+    return compare_simulated_time_to_accuracy(histories, target_accuracy)
 
 
 def ascii_plot(series: List[Tuple[float, float]], width: int = 50, height: int = 12) -> str:

@@ -20,6 +20,7 @@ from typing import Any, Dict
 
 from ..data.registry import get_partitioner
 from ..federated.scenario import ScenarioConfig, get_sampler
+from ..systems import SystemsConfig, get_fleet, get_round_policy
 
 
 @dataclass(frozen=True)
@@ -95,3 +96,29 @@ def sampler_override(sampler: str, **params) -> Dict[str, Any]:
     """
     get_sampler(sampler)  # raises KeyError for unknown samplers
     return {"scenario": ScenarioConfig(sampler=sampler, **params)}
+
+
+def systems_override(round_policy: str, **params) -> Dict[str, Any]:
+    """Config overrides enabling fleet simulation under a *registered* policy.
+
+    Returns a ``{"systems": SystemsConfig(...)}`` override; ``params``
+    are :class:`~repro.systems.config.SystemsConfig` fields (e.g.
+    ``deadline_seconds=1.0``, ``buffer_size=2``).  The policy name — and
+    its parameter constraints, like a positive deadline — are validated
+    here, at grid-declaration time.
+    """
+    get_round_policy(round_policy)  # raises KeyError for unknown policies
+    return {"systems": SystemsConfig(round_policy=round_policy, **params)}
+
+
+def fleet_override(fleet: str, **params) -> Dict[str, Any]:
+    """Config overrides selecting a *registered* fleet shape.
+
+    Returns a ``{"scenario": ScenarioConfig(...)}`` override; ``params``
+    are the remaining scenario fields (typically ``profiles=(...)`` for
+    the ``tiers`` shape or ``client_profiles=(...)`` for
+    ``profile-list``).  The fleet name is validated via the registry at
+    declaration time.
+    """
+    get_fleet(fleet)  # raises KeyError for unknown fleet shapes
+    return {"scenario": ScenarioConfig(fleet=fleet, **params)}

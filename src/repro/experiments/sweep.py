@@ -501,6 +501,60 @@ def smoke_spec(seed: int = 0) -> SweepSpec:
     )
 
 
+def fleet_spec(dataset: str = "mnist", preset: str = "smoke", seed: int = 0) -> SweepSpec:
+    """The fleet-simulation grid: 2 algorithms × 3 round policies.
+
+    Every cell runs on a heterogeneous two-tier fleet (edge phones +
+    Raspberry Pis, round-robin) with per-round evaluation, under a
+    *pinned* cost model (1e6 conv FLOPs/example, 100 examples/round) so
+    the policies separate identically on every dataset: the Pi tier needs
+    ~1.4 s per round while the phone tier needs ~0.75 s, so a 1-second
+    deadline drops the Pi uploads and the async buffer (K=2) closes on
+    the two fastest arrivals.  Rendering the cells' accuracy curves over
+    ``simulated_seconds`` gives the sync-vs-deadline-vs-async
+    time-to-accuracy comparison for FedAvg vs Sub-FedAvg.
+    """
+    from ..federated.scenario import ScenarioConfig
+    from ..systems import SystemsConfig
+
+    pricing = dict(flops_per_example=1e6, examples_per_round=100.0)
+    return SweepSpec(
+        name="fleet",
+        datasets=(dataset,),
+        algorithms=(
+            "fedavg",
+            Variant(
+                label="sub-fedavg-un@50",
+                algorithm="sub-fedavg-un",
+                unstructured=UnstructuredConfig(target_rate=0.5, step=0.2),
+            ),
+        ),
+        seeds=(seed,),
+        preset=preset,
+        base={
+            "eval_every": 1,
+            "scenario": ScenarioConfig(
+                fleet="tiers", profiles=("edge-phone", "raspberry-pi")
+            ),
+        },
+        overrides={
+            "sync": {
+                "systems": SystemsConfig(round_policy="synchronous", **pricing)
+            },
+            "deadline": {
+                "systems": SystemsConfig(
+                    round_policy="deadline", deadline_seconds=1.0, **pricing
+                )
+            },
+            "async": {
+                "systems": SystemsConfig(
+                    round_policy="async-buffer", buffer_size=2, **pricing
+                )
+            },
+        },
+    )
+
+
 def export_results(results: Iterable[CellResult]) -> str:
     """Merge cell results into one JSON document (the CI ``BENCH_sweep``
     artifact): summary numbers up front, full payloads after."""

@@ -68,7 +68,12 @@ from .builder import (
 from .federation import Federation
 from .client import FederatedClient, LocalTrainConfig, LocalTrainResult
 from .metrics import History, RoundRecord
-from .sampler import AvailabilitySampler, ClientSampler, FixedSampler
+from .sampler import (
+    AvailabilitySampler,
+    ClientSampler,
+    DiurnalSampler,
+    FixedSampler,
+)
 from .scenario import (
     SamplerSpec,
     ScenarioConfig,
@@ -113,9 +118,19 @@ from .simulation import (
     RASPBERRY_PI,
     WORKSTATION,
     DeviceProfile,
+    Fleet,
     WallClockModel,
     compare_time_to_accuracy,
     time_to_accuracy,
+)
+from ..systems import (
+    FleetSimCallback,
+    FleetSimulator,
+    SystemsConfig,
+    available_fleets,
+    available_round_policies,
+    fleet_specs,
+    round_policy_specs,
 )
 from .checkpoint import load_checkpoint, run_with_checkpoints, save_checkpoint
 from .evaluation import (
@@ -165,6 +180,7 @@ __all__ = [
     "ClientSampler",
     "FixedSampler",
     "AvailabilitySampler",
+    "DiurnalSampler",
     "SamplerSpec",
     "ScenarioConfig",
     "DataConfig",
@@ -209,6 +225,14 @@ __all__ = [
     "trimmed_mean_average",
     "DeviceProfile",
     "DEVICE_PROFILES",
+    "Fleet",
+    "FleetSimulator",
+    "FleetSimCallback",
+    "SystemsConfig",
+    "available_fleets",
+    "available_round_policies",
+    "fleet_specs",
+    "round_policy_specs",
     "WallClockModel",
     "time_to_accuracy",
     "compare_time_to_accuracy",

@@ -50,6 +50,8 @@ from ..data.registry import get_dataset, get_partitioner
 from ..models import create_model
 from ..models.base import ConvNet
 from ..pruning import StructuredConfig, UnstructuredConfig
+from ..systems import FleetSimulator, SystemsConfig, build_round_policy
+from .accounting.flops import dense_conv_flops
 from .client import FederatedClient, LocalTrainConfig
 from .execution import BACKENDS
 from .scenario import ScenarioConfig, build_sampler, get_sampler
@@ -64,7 +66,23 @@ _SECTION_TYPES = {
     "structured": StructuredConfig,
     "data": DataConfig,
     "scenario": ScenarioConfig,
+    "systems": SystemsConfig,
 }
+
+#: ``scenario`` fields the PR-4 schema carried.  Newer fields (the fleet
+#: shape, diurnal availability) join the canonical hash payload only when
+#: they leave their defaults, so every PR-4-expressible scenario keeps its
+#: historical ``stable_hash``.
+_PR4_SCENARIO_FIELDS = (
+    "sampler",
+    "participation",
+    "participation_spread",
+    "dropout",
+    "fixed_clients",
+    "participation_probs",
+    "profiles",
+    "profile_participation",
+)
 
 #: Pre-scenario flat field names: the exact ``data`` fields the PR-3 flat
 #: schema carried at the top level.  They anchor the canonical hash layout
@@ -121,6 +139,7 @@ class FederationConfig:
     workers: int = 0  # worker count for parallel backends (0 = cpu count)
     data: DataConfig = field(default_factory=DataConfig)
     scenario: ScenarioConfig = field(default_factory=ScenarioConfig)
+    systems: SystemsConfig | None = None  # fleet simulation (None = disabled)
     local: LocalTrainConfig = field(default_factory=LocalTrainConfig)
     unstructured: UnstructuredConfig | None = None
     structured: StructuredConfig | None = None
@@ -218,7 +237,19 @@ class FederationConfig:
         if data_extra:
             payload["data"] = data_extra
         if self.scenario != ScenarioConfig():
-            payload["scenario"] = asdict(self.scenario)
+            # Same only-when-non-default rule one schema generation later:
+            # post-PR-4 scenario fields (fleet shape, diurnal knobs) join
+            # the payload only when set, so PR-4-expressible scenarios
+            # keep their historical hash.
+            scenario_defaults = ScenarioConfig()
+            payload["scenario"] = {
+                name: getattr(self.scenario, name)
+                for name in ScenarioConfig.__dataclass_fields__
+                if name in _PR4_SCENARIO_FIELDS
+                or getattr(self.scenario, name) != getattr(scenario_defaults, name)
+            }
+        if self.systems is not None:
+            payload["systems"] = asdict(self.systems)
         return payload
 
     def stable_hash(self, extra: Mapping[str, Any] | None = None) -> str:
@@ -314,6 +345,46 @@ def model_factory(config: FederationConfig) -> Callable[[], ConvNet]:
     return lambda: create_model(dataset, seed=seed)
 
 
+#: Fallback FLOPs-per-example when the model has no convolutions to count
+#: (the paper's §4.2.3 convention prices convs only, so a pure-MLP model
+#: derives to zero, which cannot price compute time).
+_DEFAULT_FLOPS_PER_EXAMPLE = 1e6
+
+
+def build_fleet_simulator(
+    config: FederationConfig, num_clients: int
+) -> FleetSimulator:
+    """The discrete-event engine described by a config's ``systems`` section.
+
+    The fleet comes from the ``scenario`` section's fleet registry entry;
+    pricing defaults derive from the run itself: ``flops_per_example``
+    from the model's conv FLOPs (the :mod:`~repro.federated.accounting`
+    §4.2.3 convention) and ``examples_per_round`` from the local epoch
+    budget times the per-client shard size.
+    """
+    systems = config.systems if config.systems is not None else SystemsConfig()
+    flops = systems.flops_per_example
+    if flops <= 0:
+        spec = get_dataset(config.dataset).spec
+        model = create_model(config.dataset, seed=config.seed)
+        flops = float(dense_conv_flops(model, input_size=spec.shape[-1]))
+        if flops <= 0:
+            flops = _DEFAULT_FLOPS_PER_EXAMPLE
+    examples = systems.examples_per_round
+    if examples <= 0:
+        epochs = max(1, config.local.epochs)
+        examples = float(epochs * max(1, config.data.n_train // config.num_clients))
+    return FleetSimulator(
+        fleet=config.scenario.build_fleet(num_clients),
+        policy=build_round_policy(systems),
+        flops_per_example=flops,
+        examples_per_round=examples,
+        server_overhead_seconds=systems.server_overhead_seconds,
+        jitter=systems.jitter,
+        seed=config.seed,
+    )
+
+
 def build_trainer(
     config: FederationConfig, clients: List[FederatedClient], **overrides
 ) -> FederatedTrainer:
@@ -321,11 +392,37 @@ def build_trainer(
 
     The trainer class and the config sections it consumes come from the
     registry; the participation model comes from the scenario registry;
-    ``overrides`` are extra keyword arguments forwarded verbatim to the
-    trainer constructor (e.g. ``aggregator=`` for ablations or
-    ``track_trajectory=`` for Figure 1).
+    a ``systems`` section additionally attaches a
+    :class:`~repro.systems.rounds.FleetSimulator` (sharing its clock with
+    time-aware samplers such as ``diurnal``); ``overrides`` are extra
+    keyword arguments forwarded verbatim to the trainer constructor
+    (e.g. ``aggregator=`` for ablations or ``track_trajectory=`` for
+    Figure 1).
     """
     spec = get_trainer(config.algorithm)
+    sampler = build_sampler(
+        config.scenario, len(clients), config.sample_fraction, config.seed
+    )
+    fleet_sim = None
+    if config.systems is not None:
+        if (
+            config.systems.round_policy != "synchronous"
+            and not spec.cls.supports_round_plan
+        ):
+            # A non-sync policy changes training (dropped/stale uploads);
+            # a trainer that ignores the plan would report stragglers the
+            # aggregation silently kept at full weight.  Synchronous
+            # simulation is purely observational, so it stays allowed.
+            raise ValueError(
+                f"algorithm {config.algorithm!r} does not consume the fleet "
+                f"round plan, so round_policy="
+                f"{config.systems.round_policy!r} would be misreported; "
+                "use round_policy='synchronous' or a FedAvg/Sub-FedAvg-"
+                "family trainer"
+            )
+        fleet_sim = build_fleet_simulator(config, len(clients))
+        if hasattr(sampler, "attach_clock"):
+            sampler.attach_clock(fleet_sim.clock)
     kwargs: Dict[str, Any] = dict(
         clients=clients,
         model_fn=model_factory(config),
@@ -335,9 +432,8 @@ def build_trainer(
         eval_every=config.eval_every,
         backend=config.backend,
         workers=config.workers,
-        sampler=build_sampler(
-            config.scenario, len(clients), config.sample_fraction, config.seed
-        ),
+        sampler=sampler,
+        fleet_sim=fleet_sim,
     )
     for section in spec.config_sections:
         value = getattr(config, section)

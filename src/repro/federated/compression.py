@@ -26,7 +26,7 @@ import numpy as np
 
 from ..pruning.unstructured import _rank_threshold
 from .accounting.communication import FLOAT_BITS, MASK_BITS
-from .aggregation import fedavg_average
+from .execution import ClientUpdate
 from .metrics import RoundRecord
 from .registry import register_trainer
 from .trainers.fedavg import FedAvg
@@ -149,13 +149,16 @@ class FedAvgCompressed(FedAvg):
         self.compressor = compressor if compressor is not None else IdentityCompressor()
 
     def _round(self, round_index: int, sampled: List[int]) -> RoundRecord:
-        updates = self.execute(self._train_tasks(sampled))
+        started = self.round_participants(sampled)
+        updates = self.execute(self._train_tasks(started))
         # Encode/decode server-side in sampled order: stochastic codecs
         # (RandomMaskCompressor) draw from one stream, so the reduction
         # order must not depend on the execution backend.
-        states = []
-        weights = []
+        decoded_updates = []
         uplink_bits = 0.0
+        one_way_down = self.total_params * FLOAT_BITS / 8.0
+        client_up = {}
+        client_down = {}
         for update in updates:
             delta = {
                 name: value - self.global_state[name]
@@ -163,19 +166,33 @@ class FedAvgCompressed(FedAvg):
             }
             decoded, bits = self.compressor.encode(delta)
             uplink_bits += bits
-            states.append(
-                {name: self.global_state[name] + decoded[name] for name in decoded}
+            client_up[update.client_id] = bits / 8.0
+            client_down[update.client_id] = one_way_down
+            decoded_updates.append(
+                ClientUpdate(
+                    client_index=update.client_index,
+                    client_id=update.client_id,
+                    state={
+                        name: self.global_state[name] + decoded[name]
+                        for name in decoded
+                    },
+                    num_examples=update.num_examples,
+                    mean_loss=update.mean_loss,
+                )
             )
-            weights.append(update.num_examples)
 
-        self.global_state = fedavg_average(
-            states, weights if sum(weights) > 0 else None
-        )
-        downlink = len(sampled) * self.total_params * FLOAT_BITS / 8.0
+        # Delegate to FedAvg's plan-aware aggregation over the *decoded*
+        # states: deadline stragglers weigh zero, and carried async
+        # arrivals land with their staleness discount (the in-flight
+        # client's model still holds the state it uploaded).
+        self._aggregate(decoded_updates)
+        downlink = len(started) * one_way_down
         return RoundRecord(
             round_index=round_index,
             sampled_clients=sampled,
             train_loss=float(np.mean([update.mean_loss for update in updates])),
             uploaded_bytes=uplink_bits / 8.0,
             downloaded_bytes=downlink,
+            client_uploaded_bytes=client_up,
+            client_downloaded_bytes=client_down,
         )

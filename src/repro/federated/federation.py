@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, List, Mapping, Optional
 
+from ..systems.callback import FleetSimCallback
 from .builder import FederationConfig, build_trainer, make_clients
 from .client import FederatedClient
 from .metrics import History
@@ -65,8 +66,19 @@ class Federation:
     # Lifecycle
     # ------------------------------------------------------------------
     def run(self, callbacks: Optional[Iterable] = None) -> History:
-        """Execute the run, dispatching ``callbacks`` around every round."""
-        return self._trainer.run(callbacks=callbacks)
+        """Execute the run, dispatching ``callbacks`` around every round.
+
+        A config with a ``systems`` section gets a
+        :class:`~repro.systems.callback.FleetSimCallback` appended
+        automatically (unless the caller passed one), so every round
+        record carries its simulated fleet seconds and stragglers.
+        """
+        callbacks = list(callbacks or ())
+        if self._trainer.fleet_sim is not None and not any(
+            isinstance(callback, FleetSimCallback) for callback in callbacks
+        ):
+            callbacks.append(FleetSimCallback())
+        return self._trainer.run(callbacks=callbacks or None)
 
     @property
     def trainer(self) -> FederatedTrainer:

@@ -3,12 +3,27 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 
 @dataclass
 class RoundRecord:
-    """Everything measured in one communication round."""
+    """Everything measured in one communication round.
+
+    Traffic is recorded twice: the round totals (``uploaded_bytes`` /
+    ``downloaded_bytes``, summed over participants — always present) and,
+    when the trainer meters it, the per-client breakdown
+    (``client_uploaded_bytes`` / ``client_downloaded_bytes``, keyed by
+    client id).  The per-client form is what prices Sub-FedAvg correctly:
+    each client's mask size differs, so an even split misprices the
+    stragglers.  :meth:`per_client_traffic` returns whichever is
+    available, documented even-split fallback included.
+
+    ``simulated_seconds`` and ``stragglers`` are stamped by the fleet
+    simulator (:class:`~repro.systems.callback.FleetSimCallback`);
+    ``wall_clock_seconds`` is the legacy
+    :class:`~repro.federated.callbacks.WallClockCallback` annotation.
+    """
 
     round_index: int
     sampled_clients: List[int]
@@ -20,6 +35,40 @@ class RoundRecord:
     uploaded_bytes: float = 0.0
     downloaded_bytes: float = 0.0
     wall_clock_seconds: Optional[float] = None  # simulated seconds (WallClockCallback)
+    client_uploaded_bytes: Optional[Dict[int, float]] = None
+    client_downloaded_bytes: Optional[Dict[int, float]] = None
+    simulated_seconds: Optional[float] = None  # fleet-simulator round duration
+    stragglers: List[int] = field(default_factory=list)  # missed the round close
+
+    def __post_init__(self) -> None:
+        # JSON round-trips stringify integer dict keys; normalize back so
+        # a reloaded record compares (and prices) identically.
+        for name in ("client_uploaded_bytes", "client_downloaded_bytes"):
+            value = getattr(self, name)
+            if value is not None:
+                setattr(
+                    self, name, {int(cid): float(b) for cid, b in value.items()}
+                )
+
+    def per_client_traffic(self) -> Dict[int, Tuple[float, float]]:
+        """``client_id -> (uploaded, downloaded)`` bytes for this round.
+
+        Uses the metered per-client breakdown when the record carries
+        one; otherwise falls back to splitting the round totals evenly
+        over the sampled clients — exact for dense exchanges, an
+        approximation for per-client-sparse algorithms.
+        """
+        participants = self.sampled_clients or [0]
+        if self.client_uploaded_bytes is None and self.client_downloaded_bytes is None:
+            up = self.uploaded_bytes / len(participants)
+            down = self.downloaded_bytes / len(participants)
+            return {int(cid): (up, down) for cid in participants}
+        ups = self.client_uploaded_bytes or {}
+        downs = self.client_downloaded_bytes or {}
+        clients = sorted({*map(int, participants), *ups, *downs})
+        return {
+            cid: (ups.get(cid, 0.0), downs.get(cid, 0.0)) for cid in clients
+        }
 
 
 @dataclass
@@ -50,6 +99,24 @@ class History:
             if accuracy >= target:
                 return round_index
         return None
+
+    def seconds_to_accuracy(self, target: float) -> Optional[float]:
+        """Simulated seconds until ``target`` mean accuracy (or None).
+
+        Reads the fleet simulator's ``simulated_seconds`` annotations
+        (falling back to legacy ``wall_clock_seconds``); returns None if
+        the target is never reached or no round carries a duration.
+        """
+        from ..systems.report import simulated_time_to_accuracy
+
+        return simulated_time_to_accuracy(self, target)
+
+    @property
+    def total_simulated_seconds(self) -> Optional[float]:
+        """Total simulated run time (None when no round was priced)."""
+        from ..systems.report import total_simulated_seconds
+
+        return total_simulated_seconds(self)
 
     @property
     def total_communication_gb(self) -> float:

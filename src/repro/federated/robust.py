@@ -139,6 +139,9 @@ class RobustFedAvg(FedAvg):
     """
 
     algorithm_name = "robust-fedavg"
+    # Own _round (robust aggregation rules, fault injection) that does not
+    # consume the fleet plan — refuse non-synchronous round policies.
+    supports_round_plan = False
 
     def __init__(
         self,

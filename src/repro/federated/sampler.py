@@ -1,24 +1,31 @@
 """Client sampling per communication round.
 
-Three participation models ship here; they (and any third-party model) are
+Four participation models ship here; they (and any third-party model) are
 registered in :mod:`~repro.federated.scenario` and selected per run with
 ``FederationConfig(scenario=ScenarioConfig(sampler=...))``:
 
 * :class:`ClientSampler` — the paper's uniform ``k = max(1, K*N)`` draw,
 * :class:`FixedSampler` — a pinned subset (deterministic tests, standalone),
 * :class:`AvailabilitySampler` — realistic fleets: per-client participation
-  probabilities (optionally derived from
-  :class:`~repro.federated.simulation.DeviceProfile` assignments, using the
-  same round-robin client→device rule as
-  :class:`~repro.federated.simulation.WallClockModel`) plus i.i.d.
-  per-round dropout.
+  probabilities (optionally derived from a
+  :class:`~repro.systems.fleet.Fleet`'s device assignment — the *same*
+  assignment the wall-clock model and fleet simulator price with, so a
+  slow device class can both straggle and show up rarely) plus i.i.d.
+  per-round dropout,
+* :class:`DiurnalSampler` — temporal availability: participation follows
+  a seeded day/night cycle read off simulated time (a
+  :class:`~repro.systems.clock.SimClock` when the run carries a fleet
+  simulator, a fixed per-round advance otherwise).
 """
 
 from __future__ import annotations
 
+import math
 from typing import List, Mapping, Optional, Sequence
 
 import numpy as np
+
+from ..systems.fleet import Fleet
 
 
 class ClientSampler:
@@ -105,11 +112,12 @@ class AvailabilitySampler(ClientSampler):
     Per-client probabilities come from one of (in precedence order):
 
     * ``participation_probs`` — an explicit per-client sequence,
-    * ``profiles`` + ``profile_participation`` — device classes assigned
-      round-robin (``client_id % len(profiles)``, the exact rule
-      :meth:`~repro.federated.simulation.WallClockModel.profile_for` uses),
-      each class mapped to a probability — so the same slow device class
-      can both straggle in the wall-clock model and show up rarely here,
+    * ``fleet`` (or the legacy ``profiles`` list, which builds a
+      round-robin ``tiers`` :class:`~repro.systems.fleet.Fleet`) +
+      ``profile_participation`` — the fleet assigns each client its
+      device class, each class maps to a probability — so the same slow
+      device class can both straggle in the wall-clock/fleet simulation
+      and show up rarely here,
     * ``participation`` ± ``participation_spread`` — a seeded uniform draw
       per client, clipped to ``(0, 1]``.
 
@@ -128,6 +136,7 @@ class AvailabilitySampler(ClientSampler):
         participation_probs: Optional[Sequence[float]] = None,
         profiles: Optional[Sequence] = None,
         profile_participation: Optional[Mapping[str, float]] = None,
+        fleet: Optional[Fleet] = None,
     ) -> None:
         super().__init__(num_clients, sample_fraction, seed=seed)
         if not 0.0 < participation <= 1.0:
@@ -139,6 +148,9 @@ class AvailabilitySampler(ClientSampler):
         if not 0.0 <= dropout < 1.0:
             raise ValueError(f"dropout must be in [0, 1), got {dropout}")
         self.dropout = dropout
+        if fleet is None and profiles is not None:
+            fleet = Fleet(cycle=tuple(profiles))
+        self.fleet = fleet
         if participation_probs is not None:
             probs = np.asarray(participation_probs, dtype=float)
             if probs.shape != (num_clients,):
@@ -148,11 +160,11 @@ class AvailabilitySampler(ClientSampler):
                 )
             if (probs <= 0).any() or (probs > 1).any():
                 raise ValueError("participation_probs must be in (0, 1]")
-        elif profiles is not None:
+        elif fleet is not None:
             lookup = dict(profile_participation or {})
             probs = np.array(
                 [
-                    lookup.get(profiles[i % len(profiles)].name, participation)
+                    lookup.get(fleet.profile_for(i).name, participation)
                     for i in range(num_clients)
                 ],
                 dtype=float,
@@ -171,6 +183,88 @@ class AvailabilitySampler(ClientSampler):
         draws = self._rng.random(size=invited.size)
         survive = self.participation_probs[invited] * (1.0 - self.dropout)
         participants = invited[draws < survive]
+        if participants.size == 0:
+            # Never return an empty round; the seeded pick keeps determinism.
+            keep = self._rng.integers(invited.size)
+            participants = invited[[int(keep)]]
+        return sorted(int(index) for index in participants)
+
+
+class DiurnalSampler(ClientSampler):
+    """Temporal availability: participation follows a day/night cycle.
+
+    Each client sits in a seeded "time zone" (a phase drawn uniformly in
+    ``[0, 2π)``), and its availability at simulated time ``t`` is::
+
+        participation × ((1 − amplitude) + amplitude × day(t, phase))
+
+    with ``day`` the raised cosine ``0.5 × (1 + sin(2πt/period + phase))``
+    — 1.0 at local daytime peak, 0.0 at local night.  ``amplitude=0``
+    collapses to the flat availability model; ``amplitude=1`` makes
+    clients fully unavailable at local midnight.
+
+    Time comes from an attached :class:`~repro.systems.clock.SimClock`
+    (the builder attaches the fleet simulator's clock when the run has a
+    ``systems`` section, so *slower round policies literally see fewer
+    day/night cycles per round*); without one the sampler advances its
+    own time by ``round_seconds`` per sample, a fixed estimate.
+    """
+
+    def __init__(
+        self,
+        num_clients: int,
+        sample_fraction: float = 0.1,
+        seed: Optional[int] = None,
+        participation: float = 1.0,
+        amplitude: float = 0.8,
+        period_seconds: float = 86400.0,
+        round_seconds: float = 600.0,
+        clock=None,
+    ) -> None:
+        super().__init__(num_clients, sample_fraction, seed=seed)
+        if not 0.0 < participation <= 1.0:
+            raise ValueError(f"participation must be in (0, 1], got {participation}")
+        if not 0.0 <= amplitude <= 1.0:
+            raise ValueError(f"amplitude must be in [0, 1], got {amplitude}")
+        if period_seconds <= 0 or round_seconds <= 0:
+            raise ValueError("period_seconds and round_seconds must be positive")
+        self.participation = participation
+        self.amplitude = amplitude
+        self.period_seconds = period_seconds
+        self.round_seconds = round_seconds
+        self._clock = clock
+        self._rounds_sampled = 0
+        self.phases = self._rng.uniform(0.0, 2.0 * math.pi, size=num_clients)
+
+    def attach_clock(self, clock) -> None:
+        """Drive availability off a shared simulation clock from now on."""
+        self._clock = clock
+
+    @property
+    def now(self) -> float:
+        """The simulated time the *next* sample will be drawn at."""
+        if self._clock is not None:
+            return float(self._clock.now)
+        return self._rounds_sampled * self.round_seconds
+
+    def availability(self, t: Optional[float] = None) -> np.ndarray:
+        """Per-client participation probabilities at simulated time ``t``."""
+        t = self.now if t is None else t
+        day = 0.5 * (
+            1.0 + np.sin(2.0 * math.pi * t / self.period_seconds + self.phases)
+        )
+        probs = self.participation * ((1.0 - self.amplitude) + self.amplitude * day)
+        return np.clip(probs, 1e-9, 1.0)
+
+    def sample(self) -> List[int]:
+        """This round's participants: invited ∩ awake at the current time."""
+        probs = self.availability()
+        self._rounds_sampled += 1
+        invited = self._rng.choice(
+            self.num_clients, size=self.clients_per_round, replace=False
+        )
+        draws = self._rng.random(size=invited.size)
+        participants = invited[draws < probs[invited]]
         if participants.size == 0:
             # Never return an empty round; the seeded pick keeps determinism.
             keep = self._rng.integers(invited.size)

@@ -13,10 +13,19 @@ builder or trainers:
 ...     ...  # return a ClientSampler-compatible object
 
 Shipped models: ``uniform`` (the paper's protocol), ``fixed`` (a pinned
-subset), and ``availability`` (per-client participation probabilities plus
+subset), ``availability`` (per-client participation probabilities plus
 i.i.d. dropout — see
-:class:`~repro.federated.sampler.AvailabilitySampler`, which also composes
-with :class:`~repro.federated.simulation.DeviceProfile` fleets).
+:class:`~repro.federated.sampler.AvailabilitySampler`) and ``diurnal``
+(day/night participation cycles driven by simulated time — see
+:class:`~repro.federated.sampler.DiurnalSampler`).
+
+The scenario also names the run's *fleet* — which hardware each client
+is, resolved through the :func:`~repro.systems.fleet.register_fleet`
+registry.  The fleet is shared by everything device-aware: the
+availability sampler's profile map, the legacy
+:class:`~repro.federated.simulation.WallClockModel`, and the
+:class:`~repro.systems.rounds.FleetSimulator` configured by the
+``systems`` section.
 """
 
 from __future__ import annotations
@@ -25,9 +34,14 @@ from collections.abc import Mapping
 from dataclasses import dataclass
 from typing import Callable, Dict, Tuple
 
+from ..systems.fleet import Fleet, build_fleet, get_fleet
 from .registry import _first_doc_line
-from .sampler import AvailabilitySampler, ClientSampler, FixedSampler
-from .simulation import DEVICE_PROFILES
+from .sampler import (
+    AvailabilitySampler,
+    ClientSampler,
+    DiurnalSampler,
+    FixedSampler,
+)
 
 
 @dataclass(frozen=True)
@@ -41,12 +55,19 @@ class ScenarioConfig:
 
     The ``availability`` model reads ``participation`` (±
     ``participation_spread``) and ``dropout``, or — when set — the explicit
-    ``participation_probs`` (one probability per client), or ``profiles``
-    (device-class names from
-    :data:`~repro.federated.simulation.DEVICE_PROFILES`, assigned
-    round-robin) with ``profile_participation`` mapping each class name to
-    a probability.  ``fixed_clients`` pins the ``fixed`` model's subset.
-    Third-party samplers read whichever fields they need.
+    ``participation_probs`` (one probability per client), or the fleet's
+    device assignment with ``profile_participation`` mapping each device
+    class name to a probability.  ``fixed_clients`` pins the ``fixed``
+    model's subset.  The ``diurnal`` model reads ``participation``,
+    ``diurnal_amplitude``, ``diurnal_period_seconds`` and
+    ``diurnal_round_seconds``.  Third-party samplers read whichever
+    fields they need.
+
+    ``fleet`` selects the client→device assignment shape from the
+    :func:`~repro.systems.fleet.register_fleet` registry: ``tiers`` (the
+    default — ``profiles`` assigned round-robin, the historical rule),
+    ``uniform``, or ``profile-list`` (explicit per-client
+    ``client_profiles``).
     """
 
     sampler: str = "uniform"
@@ -57,6 +78,11 @@ class ScenarioConfig:
     participation_probs: Tuple[float, ...] = ()
     profiles: Tuple[str, ...] = ()
     profile_participation: Tuple[Tuple[str, float], ...] = ()
+    fleet: str = "tiers"
+    client_profiles: Tuple[str, ...] = ()
+    diurnal_amplitude: float = 0.8
+    diurnal_period_seconds: float = 86400.0
+    diurnal_round_seconds: float = 600.0
 
     def __post_init__(self) -> None:
         # JSON deserialization hands us lists; normalize to the hashable form.
@@ -72,6 +98,8 @@ class ScenarioConfig:
             )
         if not isinstance(self.profiles, tuple):
             object.__setattr__(self, "profiles", tuple(self.profiles))
+        if not isinstance(self.client_profiles, tuple):
+            object.__setattr__(self, "client_profiles", tuple(self.client_profiles))
         # Accept the natural mapping spelling ({"edge-phone": 0.2}) as well
         # as pair sequences; canonicalize to name-sorted tuples so equal
         # mappings compare (and hash) equal regardless of insertion order.
@@ -90,6 +118,19 @@ class ScenarioConfig:
             )
         if not 0.0 <= self.dropout < 1.0:
             raise ValueError(f"dropout must be in [0, 1), got {self.dropout}")
+        if not 0.0 <= self.diurnal_amplitude <= 1.0:
+            raise ValueError(
+                f"diurnal_amplitude must be in [0, 1], got {self.diurnal_amplitude}"
+            )
+        if self.diurnal_period_seconds <= 0 or self.diurnal_round_seconds <= 0:
+            raise ValueError(
+                "diurnal_period_seconds and diurnal_round_seconds must be positive"
+            )
+        get_fleet(self.fleet)  # raises KeyError for unknown fleet shapes
+
+    def build_fleet(self, num_clients: int) -> Fleet:
+        """The client→device assignment this scenario describes."""
+        return build_fleet(self, num_clients)
 
 
 @dataclass(frozen=True)
@@ -185,15 +226,11 @@ def _fixed_sampler(
 def _availability_sampler(
     num_clients: int, sample_fraction: float, seed: int, scenario: ScenarioConfig
 ) -> AvailabilitySampler:
-    profiles = None
-    if scenario.profiles:
-        unknown = [name for name in scenario.profiles if name not in DEVICE_PROFILES]
-        if unknown:
-            raise KeyError(
-                f"unknown device profile(s) {unknown}; "
-                f"choose from {sorted(DEVICE_PROFILES)}"
-            )
-        profiles = [DEVICE_PROFILES[name] for name in scenario.profiles]
+    # Only hand the sampler a fleet when the scenario actually describes
+    # one — otherwise the spread-based probability draw applies.
+    fleet = None
+    if scenario.profiles or scenario.client_profiles:
+        fleet = scenario.build_fleet(num_clients)
     return AvailabilitySampler(
         num_clients,
         sample_fraction,
@@ -202,6 +239,24 @@ def _availability_sampler(
         participation_spread=scenario.participation_spread,
         dropout=scenario.dropout,
         participation_probs=scenario.participation_probs or None,
-        profiles=profiles,
+        fleet=fleet,
         profile_participation=dict(scenario.profile_participation) or None,
+    )
+
+
+@register_sampler(
+    "diurnal",
+    summary="day/night participation cycles driven by simulated time",
+)
+def _diurnal_sampler(
+    num_clients: int, sample_fraction: float, seed: int, scenario: ScenarioConfig
+) -> DiurnalSampler:
+    return DiurnalSampler(
+        num_clients,
+        sample_fraction,
+        seed=seed,
+        participation=scenario.participation,
+        amplitude=scenario.diurnal_amplitude,
+        period_seconds=scenario.diurnal_period_seconds,
+        round_seconds=scenario.diurnal_round_seconds,
     )

@@ -6,17 +6,26 @@ The paper motivates Sub-FedAvg with edge constraints: uplinks of ~1 MB/s
 under explicit device profiles, so "rounds to accuracy" becomes the
 deployment-relevant "seconds to accuracy":
 
-* a :class:`DeviceProfile` gives a device's conv throughput and link rates,
+* a :class:`~repro.systems.fleet.DeviceProfile` gives a device's conv
+  throughput and link rates (defined in :mod:`repro.systems.fleet`,
+  re-exported here for backward compatibility),
 * :class:`WallClockModel` prices one round as the *slowest* sampled client
-  (synchronous FL: the server waits for stragglers) plus server overhead,
+  (synchronous FL: the server waits for stragglers) plus server overhead.
+  The client→device assignment is owned by a
+  :class:`~repro.systems.fleet.Fleet` (the historical round-robin rule is
+  the ``tiers`` fleet shape), and traffic is priced per client when the
+  record carries a per-client breakdown — the even split over
+  participants is only the documented fallback for dense-era records,
 * :func:`time_to_accuracy` walks an accuracy curve and accumulates round
   times until the target is reached.
 
-For live (per-round, during the run) pricing instead of post-hoc analysis,
-wrap a :class:`WallClockModel` in a
-:class:`~repro.federated.callbacks.WallClockCallback` and pass it to
-``Federation.run(callbacks=[...])`` — each ``RoundRecord`` then carries its
-``wall_clock_seconds`` as the round completes.
+For richer semantics — deadline rounds, FedBuff-style async aggregation,
+stragglers overlapping across rounds — use the event-driven
+:class:`~repro.systems.rounds.FleetSimulator`; its ``synchronous`` round
+policy reproduces this model's totals bit-for-bit (pinned in tests).
+For live per-round annotation, wrap a :class:`WallClockModel` in a
+:class:`~repro.federated.callbacks.WallClockCallback` (or a
+:class:`~repro.systems.callback.FleetSimCallback` around a simulator).
 
 The FLOP term uses the paper's conv-only counting convention, scaled by
 the per-round number of local passes (epochs × examples × 3 for the
@@ -25,55 +34,17 @@ forward/backward pair).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Union
 
-
+from ..systems.fleet import (  # noqa: F401  (re-exported public names)
+    DEVICE_PROFILES,
+    EDGE_PHONE,
+    RASPBERRY_PI,
+    WORKSTATION,
+    DeviceProfile,
+    Fleet,
+)
 from .metrics import History, RoundRecord
-
-
-@dataclass(frozen=True)
-class DeviceProfile:
-    """Compute and network capabilities of one client device.
-
-    Defaults approximate a mid-range phone with the paper's constrained
-    uplink: 1 GFLOP/s effective conv throughput, 1 MB/s up, 8 MB/s down.
-    """
-
-    name: str = "edge-phone"
-    flops_per_second: float = 1e9
-    upload_bytes_per_second: float = 1e6
-    download_bytes_per_second: float = 8e6
-
-    def __post_init__(self) -> None:
-        for field_name in (
-            "flops_per_second",
-            "upload_bytes_per_second",
-            "download_bytes_per_second",
-        ):
-            if getattr(self, field_name) <= 0:
-                raise ValueError(f"{field_name} must be positive")
-
-
-EDGE_PHONE = DeviceProfile()
-RASPBERRY_PI = DeviceProfile(
-    name="raspberry-pi",
-    flops_per_second=3e8,
-    upload_bytes_per_second=2e6,
-    download_bytes_per_second=2e6,
-)
-WORKSTATION = DeviceProfile(
-    name="workstation",
-    flops_per_second=5e10,
-    upload_bytes_per_second=1.25e7,
-    download_bytes_per_second=1.25e7,
-)
-
-#: Built-in profiles by name — how serialized configs reference a device
-#: class (``ScenarioConfig(profiles=("edge-phone", "raspberry-pi"))``).
-DEVICE_PROFILES: Dict[str, DeviceProfile] = {
-    profile.name: profile for profile in (EDGE_PHONE, RASPBERRY_PI, WORKSTATION)
-}
 
 
 class WallClockModel:
@@ -81,23 +52,28 @@ class WallClockModel:
 
     def __init__(
         self,
-        profiles: Sequence[DeviceProfile],
+        profiles: Union[Sequence[DeviceProfile], Fleet],
         flops_per_example: float,
         examples_per_round: float,
         server_overhead_seconds: float = 0.5,
     ) -> None:
-        if not profiles:
-            raise ValueError("need at least one device profile")
+        if isinstance(profiles, Fleet):
+            fleet = profiles
+        else:
+            if not profiles:
+                raise ValueError("need at least one device profile")
+            fleet = Fleet(cycle=tuple(profiles))
         if flops_per_example <= 0 or examples_per_round <= 0:
             raise ValueError("flops_per_example and examples_per_round must be positive")
-        self.profiles = list(profiles)
+        self.fleet = fleet
+        self.profiles = list(fleet.cycle)
         self.flops_per_example = flops_per_example
         self.examples_per_round = examples_per_round
         self.server_overhead_seconds = server_overhead_seconds
 
     def profile_for(self, client_id: int) -> DeviceProfile:
-        """Deterministic client → device assignment (round-robin)."""
-        return self.profiles[client_id % len(self.profiles)]
+        """Deterministic client → device assignment (delegates to the fleet)."""
+        return self.fleet.profile_for(client_id)
 
     def client_round_seconds(
         self, client_id: int, upload_bytes: float, download_bytes: float
@@ -118,16 +94,15 @@ class WallClockModel:
     def round_seconds(self, record: RoundRecord) -> float:
         """Synchronous-round time: the slowest sampled client plus overhead.
 
-        Traffic in the record is summed over participants; it is split
-        evenly here, which is exact for the dense baselines and a close
-        approximation for Sub-FedAvg (per-client masks differ slightly).
+        Traffic comes from the record's per-client breakdown when present
+        (Sub-FedAvg masks make per-client bytes genuinely different);
+        records without one fall back to splitting the round totals
+        evenly over participants — exact for the dense baselines, an
+        approximation for per-client-sparse algorithms.
         """
-        participants = record.sampled_clients or [0]
-        per_client_up = record.uploaded_bytes / len(participants)
-        per_client_down = record.downloaded_bytes / len(participants)
         slowest = max(
-            self.client_round_seconds(client_id, per_client_up, per_client_down)
-            for client_id in participants
+            self.client_round_seconds(client_id, up, down)
+            for client_id, (up, down) in record.per_client_traffic().items()
         )
         return slowest + self.server_overhead_seconds
 

@@ -43,9 +43,27 @@ class FederatedTrainer:
     skips the finished prefix.  A callback may call :meth:`request_stop`
     to end the loop early; the final all-client evaluation still runs, so
     the returned history is truncated but consistent.
+
+    With a :class:`~repro.systems.rounds.FleetSimulator` attached
+    (``fleet_sim``, wired by the builder from the config's ``systems``
+    section), each round additionally starts with a
+    :class:`~repro.systems.rounds.RoundPlan`: the simulator predicts
+    which sampled clients are still busy mid-flight (they skip local
+    work), which will miss the round close (their update gets zero
+    aggregation weight), and what staleness discount each delivery
+    carries.  Trainers read the plan through :meth:`round_participants`
+    and :meth:`delivery_weight`; without a simulator both are identity
+    pass-throughs, so legacy behavior is bit-identical.
     """
 
     algorithm_name = "base"
+
+    #: Does this trainer's ``_round`` consume the fleet plan
+    #: (``round_participants``/``delivery_weight``/``_delivered_states``)?
+    #: Trainers that do not must refuse non-synchronous round policies —
+    #: otherwise the record would report stragglers as dropped while the
+    #: aggregation silently kept them at full weight.
+    supports_round_plan = False
 
     def __init__(
         self,
@@ -58,6 +76,7 @@ class FederatedTrainer:
         backend: Union[str, ExecutionBackend, None] = "serial",
         workers: int = 0,
         sampler: Optional[ClientSampler] = None,
+        fleet_sim=None,
     ) -> None:
         if rounds < 1:
             raise ValueError(f"rounds must be >= 1, got {rounds}")
@@ -80,6 +99,8 @@ class FederatedTrainer:
         self.total_params = int(sum(v.size for v in self.global_state.values()))
         self.stop_requested = False
         self.backend = resolve_backend(backend, workers)
+        self.fleet_sim = fleet_sim
+        self.round_plan = None  # the current round's RoundPlan (or None)
 
     # ------------------------------------------------------------------
     # Task execution
@@ -90,6 +111,45 @@ class FederatedTrainer:
         if not tasks:
             return []
         return self.backend.run(tasks, self.clients, self.global_state)
+
+    # ------------------------------------------------------------------
+    # Fleet-simulation plan (no-ops without an attached simulator)
+    # ------------------------------------------------------------------
+    def _estimated_traffic(self, sampled: List[int]) -> Dict[int, tuple]:
+        """Pre-round per-client byte estimate the simulator plans with.
+
+        The default prices a dense exchange (the full model both ways);
+        algorithms whose exchanges differ per client (Sub-FedAvg masks)
+        override this with their committed pre-round sizes.  The round's
+        *recorded* bytes re-price the completed timeline afterwards.
+        """
+        one_way = self.total_params * 4.0  # 32-bit floats
+        return {client_id: (one_way, one_way) for client_id in sampled}
+
+    def round_participants(self, sampled: List[int]) -> List[int]:
+        """Sampled clients that actually run local work this round.
+
+        Under async round policies a sampled client may still be
+        mid-flight from an earlier round; the plan marks it busy and it
+        skips this round's local work.  Without a plan this is the
+        sampled list unchanged.
+        """
+        if self.round_plan is None:
+            return list(sampled)
+        started = set(self.round_plan.started)
+        return [client_id for client_id in sampled if client_id in started]
+
+    def delivery_weight(self, client_id: int) -> float:
+        """The plan's aggregation weight for one client (1.0 without a plan).
+
+        0.0 marks an update the server never aggregates (a deadline
+        straggler, or an async client whose upload lands in a later
+        round); fractional values are staleness discounts on carried
+        async arrivals.
+        """
+        if self.round_plan is None:
+            return 1.0
+        return self.round_plan.delivery_weight(client_id)
 
     # ------------------------------------------------------------------
     # Main loop
@@ -114,6 +174,10 @@ class FederatedTrainer:
         start_round = len(self.history.rounds) + 1
         for round_index in range(start_round, self.rounds + 1):
             sampled = self.sampler.sample()
+            if self.fleet_sim is not None:
+                self.round_plan = self.fleet_sim.plan_round(
+                    round_index, sampled, self._estimated_traffic(sampled)
+                )
             dispatcher.on_round_start(self, round_index, sampled)
             record = self._round(round_index, sampled)
             if self.eval_every and round_index % self.eval_every == 0:

@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..accounting.communication import dense_exchange
+from ..accounting.communication import FLOAT_BITS, dense_exchange
 from ..aggregation import fedavg_average
 from ..execution import ClientTask, ClientUpdate
 from ..metrics import RoundRecord
@@ -29,13 +29,25 @@ class FedAvg(FederatedTrainer):
     weights count the examples a client actually processed this round, so
     a straggler's stale state is discounted in proportion to the work it
     skipped (and weighted zero if it did none).
+
+    With a fleet simulator attached, aggregation follows the round plan
+    instead: deadline stragglers weigh zero (their upload missed the
+    close), and under the async-buffer policy an in-flight client's
+    earlier update is aggregated when it finally *arrives*, discounted by
+    its staleness weight — the client's model still holds the state it
+    trained when it started, so the carried delivery is exactly that
+    stale state.
     """
 
     algorithm_name = "fedavg"
+    supports_round_plan = True
 
     def __init__(self, *args, stragglers=None, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self.stragglers = stragglers
+        # Example counts of async in-flight updates, consumed when the
+        # carried delivery finally arrives in a later round.
+        self._held_examples: Dict[int, int] = {}
 
     def _local_epochs(self, client_index: int) -> Optional[int]:
         if self.stragglers is None:
@@ -55,24 +67,55 @@ class FedAvg(FederatedTrainer):
         ]
 
     def _aggregate(self, updates: List[ClientUpdate]) -> None:
-        states = [update.state for update in updates]
-        weights = [update.num_examples for update in updates]
-        # All-straggler corner: nobody processed an example, so there is no
-        # work to weight by — keep uniform weights instead of dividing by 0.
+        plan = self.round_plan
+        if plan is None:
+            states = [update.state for update in updates]
+            weights = [update.num_examples for update in updates]
+            # All-straggler corner: nobody processed an example, so there is
+            # no work to weight by — keep uniform weights instead of
+            # dividing by 0.
+            self.global_state = fedavg_average(
+                states, weights if sum(weights) > 0 else None
+            )
+            return
+        by_id = {update.client_id: update for update in updates}
+        states, weights = [], []
+        for delivery in plan.deliveries:
+            update = by_id.get(delivery.client_id)
+            if update is not None:
+                state, examples = update.state, update.num_examples
+            else:
+                # A carried async arrival: the client was not re-trained
+                # while in flight, so its model still holds the state it
+                # uploaded — deliver that, staleness-discounted.
+                state = self.clients[delivery.client_id].state_dict()
+                examples = self._held_examples.pop(delivery.client_id, 1)
+            states.append(state)
+            weights.append(examples * delivery.weight)
+        delivered = plan.delivered_ids
+        for update in updates:
+            if update.client_id not in delivered:
+                self._held_examples[update.client_id] = update.num_examples
+        if not states:
+            return  # the server closed the round before any upload landed
         self.global_state = fedavg_average(
             states, weights if sum(weights) > 0 else None
         )
 
     def _round(self, round_index: int, sampled: List[int]) -> RoundRecord:
-        updates = self.execute(self._train_tasks(sampled))
+        started = self.round_participants(sampled)
+        updates = self.execute(self._train_tasks(started))
         self._aggregate(updates)
-        traffic = dense_exchange(self.total_params, len(sampled))
+        traffic = dense_exchange(self.total_params, len(started))
+        one_way = self.total_params * FLOAT_BITS / 8.0
         return RoundRecord(
             round_index=round_index,
             sampled_clients=sampled,
             train_loss=float(np.mean([update.mean_loss for update in updates])),
             uploaded_bytes=traffic.uploaded_bytes,
             downloaded_bytes=traffic.downloaded_bytes,
+            client_uploaded_bytes={cid: one_way for cid in started},
+            client_downloaded_bytes={cid: one_way for cid in started},
         )
 
 

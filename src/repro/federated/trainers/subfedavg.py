@@ -60,6 +60,7 @@ class SubFedAvgTrainer(FederatedTrainer):
     """
 
     algorithm_name = "sub-fedavg"
+    supports_round_plan = True
 
     def __init__(
         self,
@@ -101,10 +102,11 @@ class SubFedAvgTrainer(FederatedTrainer):
 
     # ------------------------------------------------------------------
     def _round(self, round_index: int, sampled: List[int]) -> RoundRecord:
+        started = self.round_participants(sampled)
         # Downlink size depends on the mask committed *before* this round's
         # local update, so meter it while building the task list.
         kept_down = [
-            self._kept_params(self.clients[index].mask) for index in sampled
+            self._kept_params(self.clients[index].mask) for index in started
         ]
         updates = self.execute(
             [
@@ -114,14 +116,14 @@ class SubFedAvgTrainer(FederatedTrainer):
                     load="global",
                     want_trajectory=self.track_trajectory,
                 )
-                for index in sampled
+                for index in started
             ]
         )
 
-        states = [update.state for update in updates]
-        masks = [update.mask for update in updates]
         uploaded = 0.0
         downloaded = 0.0
+        client_up: dict = {}
+        client_down: dict = {}
         for update, down in zip(updates, kept_down):
             traffic = sparse_exchange(
                 kept_params=self._kept_params(update.mask),
@@ -130,6 +132,8 @@ class SubFedAvgTrainer(FederatedTrainer):
             )
             uploaded += traffic.uploaded_bytes
             downloaded += traffic.downloaded_bytes
+            client_up[update.client_id] = traffic.uploaded_bytes
+            client_down[update.client_id] = traffic.downloaded_bytes
         if self.track_trajectory:
             for update in updates:
                 self.trajectory.append(
@@ -142,10 +146,16 @@ class SubFedAvgTrainer(FederatedTrainer):
                     )
                 )
 
-        if self.aggregator == "intersection":
-            self.global_state = intersection_average(states, masks, self.global_state)
-        else:
-            self.global_state = zero_fill_average(states, masks, self.global_state)
+        states, masks = self._delivered_states(updates)
+        if states:
+            if self.aggregator == "intersection":
+                self.global_state = intersection_average(
+                    states, masks, self.global_state
+                )
+            else:
+                self.global_state = zero_fill_average(
+                    states, masks, self.global_state
+                )
 
         sparsities = [c.controller.unstructured_sparsity() for c in self.clients]
         channel_sparsities = [c.controller.channel_sparsity() for c in self.clients]
@@ -153,12 +163,39 @@ class SubFedAvgTrainer(FederatedTrainer):
             round_index=round_index,
             sampled_clients=sampled,
             train_loss=float(np.mean([update.mean_loss for update in updates])),
-            sampled_accuracy=self.evaluate_sampled(sampled),
+            sampled_accuracy=self.evaluate_sampled(started),
             mean_sparsity=float(np.mean(sparsities)),
             mean_channel_sparsity=float(np.mean(channel_sparsities)),
             uploaded_bytes=uploaded,
             downloaded_bytes=downloaded,
+            client_uploaded_bytes=client_up,
+            client_downloaded_bytes=client_down,
         )
+
+    def _delivered_states(self, updates):
+        """(states, masks) the server aggregates, honoring the round plan.
+
+        Without a fleet simulator every update is delivered (legacy
+        behavior).  Under a plan, deadline stragglers are dropped (their
+        upload missed the close — the zero-fill aggregator's zero-weight
+        path) and carried async arrivals contribute the state and mask
+        the in-flight client still holds.
+        """
+        plan = self.round_plan
+        if plan is None:
+            return [u.state for u in updates], [u.mask for u in updates]
+        by_id = {update.client_id: update for update in updates}
+        states, masks = [], []
+        for delivery in plan.deliveries:
+            update = by_id.get(delivery.client_id)
+            if update is not None:
+                states.append(update.state)
+                masks.append(update.mask)
+            else:
+                client = self.clients[delivery.client_id]
+                states.append(client.state_dict())
+                masks.append(client.mask)
+        return states, masks
 
     def _kept_params(self, mask) -> int:
         """Parameters a client exchanges: kept masked coords + uncovered tensors."""
@@ -166,6 +203,25 @@ class SubFedAvgTrainer(FederatedTrainer):
             return self.total_params
         covered = mask.total()
         return self.total_params - covered + mask.kept()
+
+    def _estimated_traffic(self, sampled: List[int]) -> dict:
+        """Pre-round byte estimates from each client's *committed* mask.
+
+        This is what makes the fleet plan price Sub-FedAvg per client: a
+        heavily pruned client's exchange is genuinely smaller than a
+        fresh one's.  The post-round record re-prices with the masks
+        actually committed during local work.
+        """
+        estimates = {}
+        for index in sampled:
+            mask = self.clients[index].mask
+            kept = self._kept_params(mask)
+            mask_bits = 0 if mask is None or len(mask) == 0 else mask.total()
+            traffic = sparse_exchange(
+                kept_params=kept, total_mask_bits=mask_bits, num_params_down=kept
+            )
+            estimates[index] = (traffic.uploaded_bytes, traffic.downloaded_bytes)
+        return estimates
 
     # ------------------------------------------------------------------
     def mean_unstructured_sparsity(self) -> float:

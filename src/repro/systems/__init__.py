@@ -1,0 +1,156 @@
+"""Fleet simulation: deterministic discrete-event systems modelling.
+
+The paper's argument is deployment cost on constrained edge fleets
+(~1 MB/s uplinks, compute-limited devices).  This subsystem turns that
+into a first-class, *simulated-time* axis for every experiment:
+
+* :mod:`~repro.systems.clock` / :mod:`~repro.systems.events` — a seeded
+  event queue (:class:`SimClock`) with stable ``(time, seq)``
+  tie-breaking and a drained-event trace, so one seed reproduces one
+  timeline bit-for-bit;
+* :mod:`~repro.systems.fleet` — :class:`DeviceProfile` hardware classes
+  and the :func:`register_fleet` registry (``tiers``/``uniform``/
+  ``profile-list``): the single owner of the client→device assignment
+  that used to be duplicated across the wall-clock model and the
+  availability sampler;
+* :mod:`~repro.systems.timeline` — per-client download→compute→upload
+  timelines priced from each client's *actual* bytes (Sub-FedAvg mask
+  sizes, compressed updates) and conv FLOPs;
+* :mod:`~repro.systems.rounds` — the :func:`register_round_policy`
+  registry (``synchronous``/``deadline``/``async-buffer``) and the
+  :class:`FleetSimulator` engine: plan a round at its start (busy
+  clients, deliveries with staleness weights, predicted stragglers),
+  complete it at its end from recorded bytes, or replay a finished
+  history post hoc;
+* :mod:`~repro.systems.config` — the serializable ``systems`` section of
+  a :class:`~repro.federated.builder.FederationConfig`;
+* :mod:`~repro.systems.callback` / :mod:`~repro.systems.report` — the
+  :class:`FleetSimCallback` run integration and time-to-accuracy
+  reporting over simulated seconds.
+
+Quick taste — synchronous vs deadline semantics on the same history::
+
+    from repro.systems import (
+        AsyncBufferPolicy, DeadlinePolicy, Fleet, FleetSimulator,
+        SynchronousPolicy, DEVICE_PROFILES,
+    )
+    fleet = Fleet(cycle=(DEVICE_PROFILES["edge-phone"],
+                         DEVICE_PROFILES["raspberry-pi"]))
+    sync = FleetSimulator(fleet, SynchronousPolicy(),
+                          flops_per_example=1e6, examples_per_round=100)
+    print(sync.simulate(history).total_seconds)          # wait for stragglers
+    rushed = FleetSimulator(fleet, DeadlinePolicy(1.0),
+                            flops_per_example=1e6, examples_per_round=100)
+    print(rushed.simulate(history).total_seconds)        # close at 1 s
+
+The package is a leaf: it imports nothing from :mod:`repro.federated`, so
+the federated layer (builder, trainers, callbacks) can build on it
+without cycles.
+"""
+
+from .clock import SimClock
+from .events import (
+    COMPUTE_DONE,
+    DOWNLOAD_DONE,
+    EVENT_KINDS,
+    ROUND_CLOSED,
+    UPLOAD_DONE,
+    Event,
+)
+from .fleet import (
+    DEVICE_PROFILES,
+    EDGE_PHONE,
+    RASPBERRY_PI,
+    WORKSTATION,
+    DeviceProfile,
+    Fleet,
+    FleetSpec,
+    available_fleets,
+    build_fleet,
+    fleet_specs,
+    get_fleet,
+    register_fleet,
+    resolve_profiles,
+    unregister_fleet,
+)
+from .timeline import ClientTimeline, TrafficMap, build_timelines, phase_seconds
+from .rounds import (
+    AsyncBufferPolicy,
+    DeadlinePolicy,
+    Delivery,
+    FleetSimReport,
+    FleetSimulator,
+    PolicyDecision,
+    RoundOutcome,
+    RoundPlan,
+    RoundPolicy,
+    RoundPolicySpec,
+    SynchronousPolicy,
+    available_round_policies,
+    build_round_policy,
+    get_round_policy,
+    register_round_policy,
+    round_policy_specs,
+)
+from .config import SystemsConfig
+from .callback import FleetSimCallback
+from .report import (
+    compare_simulated_time_to_accuracy,
+    record_seconds,
+    simulated_time_curve,
+    simulated_time_to_accuracy,
+    total_simulated_seconds,
+    total_stragglers,
+)
+
+__all__ = [
+    "SimClock",
+    "Event",
+    "EVENT_KINDS",
+    "DOWNLOAD_DONE",
+    "COMPUTE_DONE",
+    "UPLOAD_DONE",
+    "ROUND_CLOSED",
+    "DeviceProfile",
+    "DEVICE_PROFILES",
+    "EDGE_PHONE",
+    "RASPBERRY_PI",
+    "WORKSTATION",
+    "Fleet",
+    "FleetSpec",
+    "register_fleet",
+    "unregister_fleet",
+    "get_fleet",
+    "available_fleets",
+    "fleet_specs",
+    "build_fleet",
+    "resolve_profiles",
+    "ClientTimeline",
+    "TrafficMap",
+    "phase_seconds",
+    "build_timelines",
+    "RoundPolicy",
+    "RoundPolicySpec",
+    "SynchronousPolicy",
+    "DeadlinePolicy",
+    "AsyncBufferPolicy",
+    "PolicyDecision",
+    "Delivery",
+    "RoundPlan",
+    "RoundOutcome",
+    "FleetSimReport",
+    "FleetSimulator",
+    "register_round_policy",
+    "get_round_policy",
+    "available_round_policies",
+    "round_policy_specs",
+    "build_round_policy",
+    "SystemsConfig",
+    "FleetSimCallback",
+    "record_seconds",
+    "simulated_time_curve",
+    "simulated_time_to_accuracy",
+    "compare_simulated_time_to_accuracy",
+    "total_simulated_seconds",
+    "total_stragglers",
+]

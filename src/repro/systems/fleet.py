@@ -1,0 +1,227 @@
+"""Device profiles and the fleet registry: *which hardware is each client?*
+
+Historically the client→device assignment lived in two places with the
+same hard-coded rule (``client_id % len(profiles)``):
+:meth:`~repro.federated.simulation.WallClockModel.profile_for` and the
+profile map inside
+:class:`~repro.federated.sampler.AvailabilitySampler`.  A :class:`Fleet`
+is now the single owner of that assignment, and fleet *shapes* are a
+registry (:func:`register_fleet`) selected through the ``scenario``
+section of a run config:
+
+* ``tiers`` — heterogeneous device classes assigned round-robin (the
+  historical rule, byte-compatible with the old modulo map),
+* ``uniform`` — every client is the same device class,
+* ``profile-list`` — an explicit per-client list of device-class names.
+
+:class:`DeviceProfile` (and the built-in ``edge-phone`` /
+``raspberry-pi`` / ``workstation`` profiles) are defined here — the
+simulation subsystem must stay importable without the federated package —
+and re-exported from :mod:`repro.federated.simulation` for backward
+compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Compute and network capabilities of one client device.
+
+    Defaults approximate a mid-range phone with the paper's constrained
+    uplink: 1 GFLOP/s effective conv throughput, 1 MB/s up, 8 MB/s down.
+    """
+
+    name: str = "edge-phone"
+    flops_per_second: float = 1e9
+    upload_bytes_per_second: float = 1e6
+    download_bytes_per_second: float = 8e6
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "flops_per_second",
+            "upload_bytes_per_second",
+            "download_bytes_per_second",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+
+EDGE_PHONE = DeviceProfile()
+RASPBERRY_PI = DeviceProfile(
+    name="raspberry-pi",
+    flops_per_second=3e8,
+    upload_bytes_per_second=2e6,
+    download_bytes_per_second=2e6,
+)
+WORKSTATION = DeviceProfile(
+    name="workstation",
+    flops_per_second=5e10,
+    upload_bytes_per_second=1.25e7,
+    download_bytes_per_second=1.25e7,
+)
+
+#: Built-in profiles by name — how serialized configs reference a device
+#: class (``ScenarioConfig(profiles=("edge-phone", "raspberry-pi"))``).
+DEVICE_PROFILES: Dict[str, DeviceProfile] = {
+    profile.name: profile for profile in (EDGE_PHONE, RASPBERRY_PI, WORKSTATION)
+}
+
+
+def resolve_profiles(names: Sequence[str]) -> Tuple[DeviceProfile, ...]:
+    """Turn device-class names into profiles; unknown names raise ``KeyError``."""
+    unknown = [name for name in names if name not in DEVICE_PROFILES]
+    if unknown:
+        raise KeyError(
+            f"unknown device profile(s) {unknown}; "
+            f"choose from {sorted(DEVICE_PROFILES)}"
+        )
+    return tuple(DEVICE_PROFILES[name] for name in names)
+
+
+class Fleet:
+    """A deterministic client → :class:`DeviceProfile` assignment.
+
+    ``cycle`` holds the device classes assigned round-robin for client ids
+    beyond any explicit assignment, so a :class:`Fleet` built from a
+    profile cycle reproduces the historical ``client_id % len(profiles)``
+    rule for *every* client id, not just the first ``num_clients``.
+    ``assignments`` (optional) pins the first ``len(assignments)`` clients
+    explicitly (the ``profile-list`` shape).
+    """
+
+    def __init__(
+        self,
+        cycle: Sequence[DeviceProfile] = (EDGE_PHONE,),
+        assignments: Sequence[DeviceProfile] = (),
+    ) -> None:
+        if not cycle and not assignments:
+            raise ValueError("a Fleet needs at least one device profile")
+        self.cycle: Tuple[DeviceProfile, ...] = tuple(cycle) or (assignments[-1],)
+        self.assignments: Tuple[DeviceProfile, ...] = tuple(assignments)
+
+    def profile_for(self, client_id: int) -> DeviceProfile:
+        """The device profile of one client (round-robin past assignments)."""
+        if client_id < 0:
+            raise ValueError(f"client_id must be >= 0, got {client_id}")
+        if client_id < len(self.assignments):
+            return self.assignments[client_id]
+        return self.cycle[client_id % len(self.cycle)]
+
+    def profiles_for(self, client_ids: Sequence[int]) -> Tuple[DeviceProfile, ...]:
+        return tuple(self.profile_for(client_id) for client_id in client_ids)
+
+    def device_classes(self) -> Tuple[str, ...]:
+        """Distinct device-class names in this fleet, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for profile in (*self.assignments, *self.cycle):
+            seen.setdefault(profile.name, None)
+        return tuple(seen)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Fleet(classes={self.device_classes()})"
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FleetSpec:
+    """One registry entry: the factory plus its description.
+
+    ``factory(num_clients, scenario)`` must return a :class:`Fleet`;
+    ``scenario`` is a :class:`~repro.federated.scenario.ScenarioConfig`
+    (duck-typed here — the factory reads ``profiles`` and
+    ``client_profiles``).
+    """
+
+    name: str
+    factory: Callable[..., Fleet]
+    summary: str = ""
+
+
+_REGISTRY: Dict[str, FleetSpec] = {}
+
+
+def register_fleet(name: str, *, summary: str = "") -> Callable:
+    """Decorator adding a fleet factory to the registry under ``name``."""
+
+    def decorator(factory: Callable) -> Callable:
+        if name in _REGISTRY:
+            raise ValueError(f"fleet {name!r} is already registered")
+        doc = summary or (factory.__doc__ or "").strip().splitlines()[0].strip()
+        _REGISTRY[name] = FleetSpec(name=name, factory=factory, summary=doc)
+        return factory
+
+    return decorator
+
+
+def get_fleet(name: str) -> FleetSpec:
+    """Look up one registered fleet shape; unknown names raise ``KeyError``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fleet {name!r}; choose from {available_fleets()}"
+        ) from None
+
+
+def available_fleets() -> Tuple[str, ...]:
+    """Registered fleet names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def fleet_specs() -> Tuple[FleetSpec, ...]:
+    """All fleet registry entries, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+def unregister_fleet(name: str) -> FleetSpec:
+    """Remove one entry (plugin teardown / test isolation); returns it."""
+    try:
+        return _REGISTRY.pop(name)
+    except KeyError:
+        raise KeyError(f"fleet {name!r} is not registered") from None
+
+
+def build_fleet(scenario, num_clients: int) -> Fleet:
+    """Instantiate the scenario's configured fleet shape via the registry."""
+    return get_fleet(scenario.fleet).factory(num_clients, scenario)
+
+
+@register_fleet(
+    "tiers",
+    summary="heterogeneous device classes assigned round-robin "
+    "(client_id mod classes, the historical rule)",
+)
+def _tiers_fleet(num_clients: int, scenario) -> Fleet:
+    profiles = resolve_profiles(scenario.profiles) or (EDGE_PHONE,)
+    return Fleet(cycle=profiles)
+
+
+@register_fleet("uniform", summary="every client is the same device class")
+def _uniform_fleet(num_clients: int, scenario) -> Fleet:
+    profiles = resolve_profiles(scenario.profiles) or (EDGE_PHONE,)
+    return Fleet(cycle=profiles[:1])
+
+
+@register_fleet(
+    "profile-list", summary="explicit per-client device-class names"
+)
+def _profile_list_fleet(num_clients: int, scenario) -> Fleet:
+    names = scenario.client_profiles
+    if not names:
+        raise ValueError(
+            "the 'profile-list' fleet requires scenario.client_profiles "
+            "(one device-class name per client)"
+        )
+    if len(names) < num_clients:
+        raise ValueError(
+            f"scenario.client_profiles lists {len(names)} device classes "
+            f"for {num_clients} clients"
+        )
+    assignments = resolve_profiles(names)
+    return Fleet(cycle=assignments[-1:], assignments=assignments)

@@ -1,0 +1,608 @@
+"""Round-completion policies and the :class:`FleetSimulator` engine.
+
+The server's *round-completion policy* decides when a communication round
+closes and which client uploads it aggregates:
+
+* ``synchronous`` — wait for every participant (the paper's protocol and
+  the legacy :class:`~repro.federated.simulation.WallClockModel`
+  semantics; reproduces its totals bit-for-bit),
+* ``deadline`` — close the round after a fixed budget of seconds; late
+  clients become zero-weight stragglers (their wasted upload is still
+  metered, their update is dropped),
+* ``async-buffer`` — FedBuff-style: close as soon as the first ``K``
+  uploads arrive, from *any* in-flight client — stragglers keep running
+  across round boundaries and deliver later with staleness-discounted
+  weights.
+
+Policies are a registry (:func:`register_round_policy`) selected through
+the ``systems`` section of a
+:class:`~repro.federated.builder.FederationConfig`.
+
+:class:`FleetSimulator` drives one simulation: it owns the
+:class:`~repro.systems.clock.SimClock`, the in-flight client set, and the
+two-phase round protocol —
+
+1. :meth:`~FleetSimulator.plan_round` (round start): build estimated
+   timelines for the sampled clients, ask the policy who will deliver,
+   and hand the trainer a :class:`RoundPlan` (busy clients to skip,
+   deliveries with staleness weights, predicted stragglers);
+2. :meth:`~FleetSimulator.complete_round` (round end): re-price the
+   timelines from the *actual* per-client bytes the round recorded,
+   schedule the download/compute/upload events, drain the clock to the
+   close, and advance simulated time.
+
+:meth:`~FleetSimulator.observe` collapses the two phases for post-hoc use
+(the estimate *is* the record), and :meth:`~FleetSimulator.simulate`
+replays a whole finished :class:`~repro.federated.metrics.History` on a
+fresh engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .clock import SimClock
+from .events import COMPUTE_DONE, DOWNLOAD_DONE, UPLOAD_DONE, Event
+from .fleet import Fleet
+from .timeline import ClientTimeline, TrafficMap, build_timelines
+
+
+# ----------------------------------------------------------------------
+# Policy decisions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Delivery:
+    """One upload the server aggregates this round.
+
+    ``staleness`` counts the rounds since the client started the work
+    (0 = started this round); ``weight`` is the policy's aggregation
+    discount for that staleness (1.0 under synchronous semantics).
+    """
+
+    client_id: int
+    round_started: int
+    staleness: int
+    weight: float
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """A policy's verdict on one round's timelines."""
+
+    delivered: Tuple[ClientTimeline, ...]
+    late: Tuple[ClientTimeline, ...]
+    close_seconds: float  # seconds from round start to close (excl. overhead)
+
+
+class RoundPolicy:
+    """Strategy interface: when does a round close, who gets aggregated."""
+
+    name = "abstract"
+    #: Do late clients keep running into later rounds (async) or is their
+    #: work dropped when the round closes (deadline)?
+    carries_late = False
+
+    def decide(
+        self,
+        round_index: int,
+        start: float,
+        fresh: Sequence[ClientTimeline],
+        carried: Sequence[ClientTimeline],
+    ) -> PolicyDecision:
+        raise NotImplementedError
+
+    def close_seconds_for(
+        self,
+        plan: "RoundPlan",
+        fresh: Sequence[ClientTimeline],
+        carried: Sequence[ClientTimeline],
+    ) -> float:
+        """Close time for *re-priced* timelines, keeping the plan's verdict.
+
+        The trainer has already acted on the plan (who trains, whose
+        update is aggregated), so the completion pass never changes the
+        delivered set — it only re-prices when the close happens from the
+        actual bytes.
+        """
+        raise NotImplementedError
+
+    def weight(self, staleness: int) -> float:
+        return 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class SynchronousPolicy(RoundPolicy):
+    """Wait for every participant — the paper's (and the legacy) semantics."""
+
+    name = "synchronous"
+
+    def decide(self, round_index, start, fresh, carried) -> PolicyDecision:
+        return PolicyDecision(
+            delivered=tuple(fresh),
+            late=(),
+            close_seconds=max((t.duration for t in fresh), default=0.0),
+        )
+
+    def close_seconds_for(self, plan, fresh, carried) -> float:
+        return max((t.duration for t in fresh), default=0.0)
+
+
+class DeadlinePolicy(RoundPolicy):
+    """Close the round after ``deadline_seconds``; late uploads are dropped."""
+
+    name = "deadline"
+
+    def __init__(self, deadline_seconds: float) -> None:
+        if deadline_seconds <= 0:
+            raise ValueError(
+                "the deadline policy requires systems.deadline_seconds > 0, "
+                f"got {deadline_seconds}"
+            )
+        self.deadline_seconds = deadline_seconds
+
+    def decide(self, round_index, start, fresh, carried) -> PolicyDecision:
+        delivered = tuple(t for t in fresh if t.duration <= self.deadline_seconds)
+        late = tuple(t for t in fresh if t.duration > self.deadline_seconds)
+        close = (
+            self.deadline_seconds
+            if late
+            else max((t.duration for t in fresh), default=0.0)
+        )
+        return PolicyDecision(delivered=delivered, late=late, close_seconds=close)
+
+    def close_seconds_for(self, plan, fresh, carried) -> float:
+        if plan.stragglers:
+            return self.deadline_seconds
+        return min(
+            self.deadline_seconds,
+            max((t.duration for t in fresh), default=0.0),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DeadlinePolicy(deadline_seconds={self.deadline_seconds})"
+
+
+class AsyncBufferPolicy(RoundPolicy):
+    """FedBuff-style: aggregate the first ``K`` arrivals, discount staleness.
+
+    Arrivals are ordered by ``(finish time, client id)`` over both the
+    clients starting this round and the in-flight stragglers carried from
+    earlier rounds.  A carried arrival's weight is
+    ``(1 + staleness) ** -staleness_exponent`` with staleness counted in
+    rounds — the FedBuff ``1/sqrt(1+τ)`` discount at the default 0.5.
+    ``buffer_size=0`` auto-sizes ``K`` to half the pending arrivals
+    (minimum 1).
+    """
+
+    name = "async-buffer"
+    carries_late = True
+
+    def __init__(self, buffer_size: int = 0, staleness_exponent: float = 0.5) -> None:
+        if buffer_size < 0:
+            raise ValueError(f"buffer_size must be >= 0, got {buffer_size}")
+        if staleness_exponent < 0:
+            raise ValueError(
+                f"staleness_exponent must be >= 0, got {staleness_exponent}"
+            )
+        self.buffer_size = buffer_size
+        self.staleness_exponent = staleness_exponent
+
+    def _buffer(self, pending: int) -> int:
+        if self.buffer_size > 0:
+            return min(self.buffer_size, pending)
+        return max(1, pending // 2)
+
+    def decide(self, round_index, start, fresh, carried) -> PolicyDecision:
+        arrivals = sorted(
+            (*fresh, *carried), key=lambda t: (t.finish, t.client_id)
+        )
+        if not arrivals:
+            return PolicyDecision(delivered=(), late=(), close_seconds=0.0)
+        k = self._buffer(len(arrivals))
+        delivered = tuple(arrivals[:k])
+        late = tuple(arrivals[k:])
+        close = max(0.0, delivered[-1].finish - start)
+        return PolicyDecision(delivered=delivered, late=late, close_seconds=close)
+
+    def close_seconds_for(self, plan, fresh, carried) -> float:
+        by_id = {t.client_id: t for t in (*carried, *fresh)}
+        finishes = [
+            by_id[d.client_id].finish
+            for d in plan.deliveries
+            if d.client_id in by_id
+        ]
+        if not finishes:
+            return 0.0
+        return max(0.0, max(finishes) - plan.start)
+
+    def weight(self, staleness: int) -> float:
+        return float((1 + staleness) ** -self.staleness_exponent)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AsyncBufferPolicy(buffer_size={self.buffer_size}, "
+            f"staleness_exponent={self.staleness_exponent})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Policy registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RoundPolicySpec:
+    """One registry entry: ``factory(systems_config) -> RoundPolicy``."""
+
+    name: str
+    factory: Callable[..., RoundPolicy]
+    summary: str = ""
+
+
+_REGISTRY: Dict[str, RoundPolicySpec] = {}
+
+
+def register_round_policy(name: str, *, summary: str = "") -> Callable:
+    """Decorator adding a round-policy factory to the registry."""
+
+    def decorator(factory: Callable) -> Callable:
+        if name in _REGISTRY:
+            raise ValueError(f"round policy {name!r} is already registered")
+        doc = summary or (factory.__doc__ or "").strip().splitlines()[0].strip()
+        _REGISTRY[name] = RoundPolicySpec(name=name, factory=factory, summary=doc)
+        return factory
+
+    return decorator
+
+
+def get_round_policy(name: str) -> RoundPolicySpec:
+    """Look up one registered policy; unknown names raise ``KeyError``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown round policy {name!r}; choose from {available_round_policies()}"
+        ) from None
+
+
+def available_round_policies() -> Tuple[str, ...]:
+    """Registered round-policy names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def round_policy_specs() -> Tuple[RoundPolicySpec, ...]:
+    """All round-policy registry entries, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+def build_round_policy(systems) -> RoundPolicy:
+    """Instantiate the configured policy from a ``SystemsConfig``."""
+    return get_round_policy(systems.round_policy).factory(systems)
+
+
+@register_round_policy(
+    "synchronous", summary="wait for every participant (paper protocol)"
+)
+def _synchronous_policy(systems) -> SynchronousPolicy:
+    return SynchronousPolicy()
+
+
+@register_round_policy(
+    "deadline", summary="close after T seconds; late uploads become 0-weight"
+)
+def _deadline_policy(systems) -> DeadlinePolicy:
+    return DeadlinePolicy(systems.deadline_seconds)
+
+
+@register_round_policy(
+    "async-buffer",
+    summary="FedBuff-style: first K arrivals, staleness-discounted weights",
+)
+def _async_buffer_policy(systems) -> AsyncBufferPolicy:
+    return AsyncBufferPolicy(systems.buffer_size, systems.staleness_exponent)
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RoundPlan:
+    """The server's schedule for one round, issued at round start.
+
+    Trainers consume it before local work runs: ``busy`` clients (still
+    in flight from an earlier round under async semantics) are skipped,
+    ``deliveries`` is the aggregation list (this round's on-time clients
+    plus carried arrivals, each with its staleness weight), and
+    ``stragglers`` are the clients starting this round whose upload will
+    miss the close.
+    """
+
+    round_index: int
+    start: float
+    sampled: Tuple[int, ...]
+    started: Tuple[int, ...]
+    busy: Tuple[int, ...]
+    deliveries: Tuple[Delivery, ...]
+    stragglers: Tuple[int, ...]
+    close_seconds: float
+    round_seconds: float
+
+    @property
+    def delivered_ids(self) -> frozenset:
+        return frozenset(d.client_id for d in self.deliveries)
+
+    def delivery_weight(self, client_id: int) -> float:
+        """Aggregation weight for one client (0.0 when not delivered)."""
+        for delivery in self.deliveries:
+            if delivery.client_id == client_id:
+                return delivery.weight
+        return 0.0
+
+
+@dataclass(frozen=True)
+class RoundOutcome:
+    """What actually happened, priced from the round's recorded bytes."""
+
+    round_index: int
+    start: float
+    close_seconds: float
+    round_seconds: float
+    deliveries: Tuple[Delivery, ...]
+    stragglers: Tuple[int, ...]
+    busy: Tuple[int, ...]
+    events: Tuple[Event, ...]
+
+
+@dataclass
+class FleetSimReport:
+    """A whole history replayed through the engine (post-hoc mode)."""
+
+    outcomes: List[RoundOutcome] = field(default_factory=list)
+    trace: Tuple[Event, ...] = ()
+
+    @property
+    def round_seconds(self) -> List[float]:
+        return [outcome.round_seconds for outcome in self.outcomes]
+
+    @property
+    def total_seconds(self) -> float:
+        return float(sum(outcome.round_seconds for outcome in self.outcomes))
+
+    @property
+    def total_stragglers(self) -> int:
+        return sum(len(outcome.stragglers) for outcome in self.outcomes)
+
+    def time_to_accuracy(self, history, target: float) -> Optional[float]:
+        """Simulated seconds until ``history`` reaches ``target`` accuracy."""
+        elapsed = 0.0
+        for record, outcome in zip(history.rounds, self.outcomes):
+            elapsed += outcome.round_seconds
+            if record.mean_accuracy is not None and record.mean_accuracy >= target:
+                return elapsed
+        return None
+
+
+class FleetSimulator:
+    """Deterministic discrete-event simulation of one federated deployment."""
+
+    def __init__(
+        self,
+        fleet: Fleet,
+        policy: RoundPolicy,
+        flops_per_example: float,
+        examples_per_round: float,
+        server_overhead_seconds: float = 0.5,
+        jitter: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if flops_per_example <= 0 or examples_per_round <= 0:
+            raise ValueError(
+                "flops_per_example and examples_per_round must be positive"
+            )
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        self.fleet = fleet
+        self.policy = policy
+        self.flops_per_example = flops_per_example
+        self.examples_per_round = examples_per_round
+        self.server_overhead_seconds = server_overhead_seconds
+        self.jitter = jitter
+        self.seed = seed
+        self.clock = SimClock(seed=seed)
+        self.in_flight: Dict[int, ClientTimeline] = {}
+        self.pending: Optional[RoundPlan] = None
+        self.total_seconds = 0.0
+        self.outcomes: List[RoundOutcome] = []
+        self._plan_traffic: TrafficMap = {}
+        self._plan_factors: Dict[int, float] = {}
+
+    def fresh(self) -> "FleetSimulator":
+        """A new engine with the same parameters and seed, at time zero."""
+        return FleetSimulator(
+            fleet=self.fleet,
+            policy=self.policy,
+            flops_per_example=self.flops_per_example,
+            examples_per_round=self.examples_per_round,
+            server_overhead_seconds=self.server_overhead_seconds,
+            jitter=self.jitter,
+            seed=self.seed,
+        )
+
+    # ------------------------------------------------------------------
+    # Two-phase live protocol
+    # ------------------------------------------------------------------
+    def _jitter_factors(self, client_ids: Sequence[int]) -> Dict[int, float]:
+        if self.jitter <= 0.0 or not client_ids:
+            return {}
+        draws = self.clock.rng.uniform(
+            1.0 - self.jitter, 1.0 + self.jitter, size=len(client_ids)
+        )
+        return {cid: float(factor) for cid, factor in zip(client_ids, draws)}
+
+    def _timelines(
+        self, round_index: int, client_ids: Sequence[int], traffic: TrafficMap
+    ) -> Tuple[ClientTimeline, ...]:
+        return build_timelines(
+            self.fleet,
+            round_index,
+            self.clock.now,
+            client_ids,
+            traffic,
+            self.flops_per_example,
+            self.examples_per_round,
+            jitter_factors=self._plan_factors,
+        )
+
+    def plan_round(
+        self, round_index: int, sampled: Sequence[int], traffic: TrafficMap
+    ) -> RoundPlan:
+        """Phase 1 (round start): estimated timelines → the server's schedule.
+
+        ``traffic`` holds the *estimated* per-client bytes (dense model
+        size; the committed mask's size for Sub-FedAvg); the completion
+        phase re-prices from the recorded actuals.  A dangling previous
+        plan (a caller that never completed) is finalized from its own
+        estimates first, so the clock can never silently stall.
+        """
+        if self.pending is not None:
+            self.complete_round(None)
+        start = self.clock.now
+        sampled = tuple(int(cid) for cid in sampled)
+        busy = tuple(cid for cid in sampled if cid in self.in_flight)
+        if busy and len(busy) == len(sampled):
+            # Every sampled client is mid-flight: restart them all (their
+            # stale work is discarded) rather than running an empty round.
+            for cid in busy:
+                self.in_flight.pop(cid)
+                self.clock.discard(cid)
+            busy = ()
+        started = tuple(cid for cid in sampled if cid not in set(busy))
+        self._plan_factors = self._jitter_factors(started)
+        self._plan_traffic = dict(traffic)
+        fresh = self._timelines(round_index, started, traffic)
+        carried = (
+            tuple(self.in_flight.values()) if self.policy.carries_late else ()
+        )
+        decision = self.policy.decide(round_index, start, fresh, carried)
+        deliveries = tuple(
+            Delivery(
+                client_id=t.client_id,
+                round_started=t.round_index,
+                staleness=round_index - t.round_index,
+                weight=self.policy.weight(round_index - t.round_index),
+            )
+            for t in decision.delivered
+        )
+        stragglers = tuple(
+            t.client_id for t in decision.late if t.round_index == round_index
+        )
+        plan = RoundPlan(
+            round_index=round_index,
+            start=start,
+            sampled=sampled,
+            started=started,
+            busy=busy,
+            deliveries=deliveries,
+            stragglers=stragglers,
+            close_seconds=decision.close_seconds,
+            round_seconds=decision.close_seconds + self.server_overhead_seconds,
+        )
+        self.pending = plan
+        return plan
+
+    def complete_round(self, record=None) -> RoundOutcome:
+        """Phase 2 (round end): re-price from actuals, drain events, advance.
+
+        ``record`` is the finished
+        :class:`~repro.federated.metrics.RoundRecord` (its
+        ``per_client_traffic()`` supplies actual bytes); ``None`` falls
+        back to the plan's estimates.  The plan's delivered/straggler
+        verdict is kept — the trainer already acted on it — only the
+        close time is re-priced.
+        """
+        plan = self.pending
+        if plan is None:
+            raise RuntimeError("complete_round called without a pending plan")
+        self.pending = None
+        traffic = (
+            dict(record.per_client_traffic()) if record is not None
+            else self._plan_traffic
+        )
+        fresh = self._timelines(plan.round_index, plan.started, traffic)
+        carried = tuple(self.in_flight.values())
+        close = self.policy.close_seconds_for(plan, fresh, carried)
+        round_seconds = close + self.server_overhead_seconds
+        for timeline in fresh:
+            self.clock.schedule_at(
+                timeline.download_done,
+                DOWNLOAD_DONE,
+                client_id=timeline.client_id,
+                round_index=plan.round_index,
+            )
+            self.clock.schedule_at(
+                timeline.compute_done,
+                COMPUTE_DONE,
+                client_id=timeline.client_id,
+                round_index=plan.round_index,
+            )
+            self.clock.schedule_at(
+                timeline.finish,
+                UPLOAD_DONE,
+                client_id=timeline.client_id,
+                round_index=plan.round_index,
+            )
+        drained = tuple(self.clock.pop_until(plan.start + close))
+        delivered_ids = plan.delivered_ids
+        if self.policy.carries_late:
+            for cid in delivered_ids:
+                self.in_flight.pop(cid, None)
+                # Re-pricing can push a *planned-delivered* finish past the
+                # close; its leftover events belong to this round, not the
+                # next one's trace.
+                self.clock.discard(cid)
+            for timeline in fresh:
+                if timeline.client_id not in delivered_ids:
+                    self.in_flight[timeline.client_id] = timeline
+        else:
+            # The server closed the round: every event still queued for a
+            # participant is stale — a straggler's work never lands
+            # anywhere, and a planned-delivered client whose re-priced
+            # finish slipped past the close already counted this round.
+            for timeline in fresh:
+                self.clock.discard(timeline.client_id)
+        self.clock.advance_to(plan.start + round_seconds)
+        self.total_seconds += round_seconds
+        outcome = RoundOutcome(
+            round_index=plan.round_index,
+            start=plan.start,
+            close_seconds=close,
+            round_seconds=round_seconds,
+            deliveries=plan.deliveries,
+            stragglers=plan.stragglers,
+            busy=plan.busy,
+            events=drained,
+        )
+        self.outcomes.append(outcome)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Post-hoc mode
+    # ------------------------------------------------------------------
+    def observe(self, record) -> RoundOutcome:
+        """Plan + complete one finished round from its record alone."""
+        traffic = dict(record.per_client_traffic())
+        self.plan_round(record.round_index, tuple(record.sampled_clients), traffic)
+        return self.complete_round(record)
+
+    def simulate(self, history) -> FleetSimReport:
+        """Replay a finished history on a fresh engine (this one untouched)."""
+        engine = self.fresh()
+        outcomes = [engine.observe(record) for record in history.rounds]
+        return FleetSimReport(outcomes=outcomes, trace=tuple(engine.clock.trace))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FleetSimulator(policy={self.policy.name!r}, "
+            f"fleet={self.fleet!r}, t={self.clock.now:.1f}s)"
+        )

@@ -1,0 +1,125 @@
+"""Per-client round timelines: download → compute → upload, priced in seconds.
+
+A :class:`ClientTimeline` is the simulator's unit of work: one client's
+participation in one round, priced from that client's *actual* bytes (its
+Sub-FedAvg mask size, its compressed update — not an even split of the
+round total) and its device profile's throughput.  The compute term uses
+the paper's conv-FLOP convention scaled by local passes (forward +
+backward ≈ 3× the inference FLOPs per example); the callers derive
+``flops_per_example`` from the :mod:`repro.federated.accounting` module.
+
+Bit-for-bit parity note: :attr:`ClientTimeline.duration` sums the phases
+in the exact order :meth:`WallClockModel.client_round_seconds
+<repro.federated.simulation.WallClockModel.client_round_seconds>` uses
+(``compute + up + down``), so the synchronous round policy reproduces the
+legacy model's totals to the last bit — a property the regression tests
+pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from .fleet import DeviceProfile, Fleet
+
+#: ``client_id -> (uploaded_bytes, downloaded_bytes)`` for one round.
+TrafficMap = Dict[int, Tuple[float, float]]
+
+
+@dataclass(frozen=True)
+class ClientTimeline:
+    """One client's simulated participation in one round."""
+
+    client_id: int
+    round_index: int
+    start: float
+    download_seconds: float
+    compute_seconds: float
+    upload_seconds: float
+
+    @property
+    def duration(self) -> float:
+        """Total local seconds, summed in the legacy model's order."""
+        return self.compute_seconds + self.upload_seconds + self.download_seconds
+
+    @property
+    def finish(self) -> float:
+        """Absolute simulated time the client's upload arrives."""
+        return self.start + self.duration
+
+    @property
+    def download_done(self) -> float:
+        return self.start + self.download_seconds
+
+    @property
+    def compute_done(self) -> float:
+        return self.start + self.download_seconds + self.compute_seconds
+
+
+def phase_seconds(
+    profile: DeviceProfile,
+    upload_bytes: float,
+    download_bytes: float,
+    flops_per_example: float,
+    examples_per_round: float,
+    jitter_factor: float = 1.0,
+) -> Tuple[float, float, float]:
+    """(download, compute, upload) seconds for one client's round.
+
+    A backward pass costs about twice the forward pass, so each training
+    example is priced at 3× the inference FLOPs.  ``jitter_factor``
+    scales every phase (1.0 = the deterministic baseline; the simulator
+    draws per-(round, client) factors from its seeded clock RNG).
+    """
+    compute = (
+        3.0 * flops_per_example * examples_per_round
+    ) / profile.flops_per_second
+    up = upload_bytes / profile.upload_bytes_per_second
+    down = download_bytes / profile.download_bytes_per_second
+    if jitter_factor != 1.0:
+        compute *= jitter_factor
+        up *= jitter_factor
+        down *= jitter_factor
+    return down, compute, up
+
+
+def build_timelines(
+    fleet: Fleet,
+    round_index: int,
+    start: float,
+    client_ids: Sequence[int],
+    traffic: TrafficMap,
+    flops_per_example: float,
+    examples_per_round: float,
+    jitter_factors: Dict[int, float] | None = None,
+) -> Tuple[ClientTimeline, ...]:
+    """Timelines for every starting client, in the given (sampled) order.
+
+    Clients missing from ``traffic`` are priced at zero bytes — they still
+    pay their compute time, which is what a metering gap should look like
+    rather than a crash.
+    """
+    factors = jitter_factors or {}
+    timelines = []
+    for client_id in client_ids:
+        upload_bytes, download_bytes = traffic.get(client_id, (0.0, 0.0))
+        down, compute, up = phase_seconds(
+            fleet.profile_for(client_id),
+            upload_bytes,
+            download_bytes,
+            flops_per_example,
+            examples_per_round,
+            jitter_factor=factors.get(client_id, 1.0),
+        )
+        timelines.append(
+            ClientTimeline(
+                client_id=client_id,
+                round_index=round_index,
+                start=start,
+                download_seconds=down,
+                compute_seconds=compute,
+                upload_seconds=up,
+            )
+        )
+    return tuple(timelines)
