@@ -8,6 +8,7 @@ Usage::
     python -m repro run    --backend thread --workers 4
     python -m repro run    --partition dirichlet --set data.dirichlet_alpha=0.1
     python -m repro run    --sampler availability --set scenario.dropout=0.2
+    python -m repro run    --runtime numpy --set compute.fusion=false
     python -m repro sweep  --grid smoke --jobs 2 --out sweep-results
     python -m repro sweep  --grid ablate-partition --dataset mnist
     python -m repro sweep  --grid table1 --dataset mnist --resume --export-json sweep.json
@@ -77,8 +78,10 @@ from .experiments import (
     smoke_spec,
     table1_spec,
 )
+from .engine import available_runtimes, runtime_specs
 from .experiments.sweep import SWEEP_EXECUTORS
 from .federated import (
+    ComputeConfig,
     Federation,
     FederationConfig,
     ProgressLogger,
@@ -143,11 +146,18 @@ def build_parser() -> argparse.ArgumentParser:
             help="round budget in simulated seconds (implies "
             "--round-policy deadline)",
         )
+        p.add_argument(
+            "--runtime",
+            choices=("eager",) + available_runtimes(),
+            default=None,
+            help="tensor compute engine: 'eager' (the default historical "
+            "engine) or a lazy-engine runtime from the registry",
+        )
 
     list_cmd = sub.add_parser(
         "list",
         help="show registered algorithms, datasets, partitioners, "
-        "samplers and presets",
+        "samplers, runtimes and presets",
     )
     list_cmd.set_defaults(func=_cmd_list)
 
@@ -298,6 +308,9 @@ def _cmd_list(args) -> int:
     print("round-policies:")
     for spec in round_policy_specs():
         print(f"  {spec.name:18s} {spec.summary}")
+    print("runtimes:")
+    for spec in runtime_specs():
+        print(f"  {spec.name:18s} {spec.summary}")
     print("presets:")
     for preset in PRESETS.values():
         print(
@@ -332,6 +345,9 @@ def _resolve_run_config(args) -> FederationConfig:
     systems = _systems_from_flags(args, config.systems)
     if systems is not None:
         overrides["systems"] = systems
+    compute = _compute_from_flags(args, config.compute)
+    if compute is not None:
+        overrides["compute"] = compute
     if overrides:
         config = replace(config, **overrides)
     for assignment in getattr(args, "set_overrides", []):
@@ -363,6 +379,22 @@ def _systems_from_flags(args, current: SystemsConfig | None) -> SystemsConfig | 
         # e.g. --round-policy deadline without --deadline: surface the
         # config validation message as a clean CLI error.
         raise SystemExit(f"--round-policy/--deadline: {error}") from None
+
+
+def _compute_from_flags(args, current: ComputeConfig) -> ComputeConfig | None:
+    """Fold ``--runtime`` into a ``compute`` section.
+
+    ``--runtime eager`` forces the historical eager engine (even on a
+    config whose ``compute`` section selects lazy); any other runtime name
+    selects the lazy engine realizing through that backend.  Returns None
+    when the flag was not given.
+    """
+    runtime = getattr(args, "runtime", None)
+    if runtime is None:
+        return None
+    if runtime == "eager":
+        return replace(current, engine="eager")
+    return replace(current, engine="lazy", runtime=runtime)
 
 
 def _apply_set_override(config: FederationConfig, assignment: str) -> FederationConfig:
@@ -407,6 +439,12 @@ def _cmd_run(args) -> int:
     callbacks = [ProgressLogger()] if args.progress else None
     history = Federation.from_config(config).run(callbacks=callbacks)
     print(f"{config.algorithm} on {config.dataset} ({config.num_clients} clients):")
+    if config.compute.engine != "eager":
+        fusion = "on" if config.compute.fusion else "off"
+        print(
+            f"  compute engine: {config.compute.engine} "
+            f"(runtime={config.compute.runtime}, fusion={fusion})"
+        )
     print(f"  final personalized accuracy: {history.final_accuracy:.4f}")
     print(f"  total communication: {history.total_communication_gb:.4f} GB")
     if history.total_simulated_seconds is not None:
@@ -477,6 +515,9 @@ def _cmd_sweep(args) -> int:
     systems = _systems_from_flags(args, base.get("systems"))
     if systems is not None:
         base["systems"] = systems
+    compute = _compute_from_flags(args, base.get("compute") or ComputeConfig())
+    if compute is not None:
+        base["compute"] = compute
     spec.base = base
     if args.partition is not None:
         pinned = [

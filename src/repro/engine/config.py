@@ -1,0 +1,39 @@
+"""The ``compute:`` section of a run config: which engine executes tensors.
+
+:class:`ComputeConfig` is attached to a
+:class:`~repro.federated.builder.FederationConfig` as its ``compute``
+section.  The default — the historical eager engine — joins the canonical
+hash payload *only when changed*, so every pre-compute-section config
+keeps its ``stable_hash`` and existing result stores still resume.
+
+``engine="lazy"`` records tensor ops into the
+:mod:`repro.engine` op graph instead of executing eagerly, realizing
+through the named ``runtime`` (see :func:`repro.engine.register_runtime`;
+``repro list`` prints the registry).  ``fusion=False`` disables
+elementwise-chain fusion and movement-op folding while keeping the lazy
+recording path — useful for bisecting scheduler issues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .runtime import get_runtime_spec
+
+_ENGINES = ("eager", "lazy")
+
+
+@dataclass(frozen=True)
+class ComputeConfig:
+    """Declarative choice of tensor-execution engine for one run."""
+
+    engine: str = "eager"  # eager (historical) | lazy (record + fuse + realize)
+    runtime: str = "numpy"  # realization backend for the lazy engine
+    fusion: bool = True  # fuse elementwise chains / fold movement ops
+
+    def __post_init__(self) -> None:
+        if self.engine not in _ENGINES:
+            raise ValueError(
+                f"engine must be one of {_ENGINES}, got {self.engine!r}"
+            )
+        get_runtime_spec(self.runtime)  # raises KeyError for unknown runtimes

@@ -1,0 +1,122 @@
+"""The lazy op-graph IR: :class:`LazyBuffer` nodes and realization stats.
+
+A :class:`LazyBuffer` is one node of a deferred computation: an op name
+(resolved against :data:`repro.engine.ops.OPS`), source buffers, the op's
+attributes and the inferred output shape.  Nothing is computed at
+construction time — the scheduler (:mod:`repro.engine.schedule`)
+linearizes and fuses the graph when :meth:`LazyBuffer.realize` is called,
+dispatching kernels through the active runtime
+(:mod:`repro.engine.runtime`).
+
+Two flags shape scheduling:
+
+* ``keep`` — the autograd layer marks buffers whose values a backward
+  closure will read; the fusion pass never hides them inside a fused
+  kernel, so training realizes every needed intermediate exactly once
+  (no rematerialization, bit-identical to the eager engine).
+* ``realized`` — the cached result.  Realizing is idempotent; a buffer
+  reached from several realize() points is computed once.
+
+:data:`STATS` counts recorded ops, launched kernels, ops fused away and
+movement ops folded into their consumers — the currency of the fusion
+tests and the ``BENCH_tensor`` microbenchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+#: Movement ops are pure reindexings: they realize as numpy views folded
+#: into their consumers' input fetch, never as kernels of their own.
+MOVEMENT_OPS = frozenset({"reshape", "transpose", "expand"})
+
+
+class KernelStats:
+    """Counters over lazy-graph recording and realization."""
+
+    __slots__ = ("ops_recorded", "kernels", "ops_fused", "movements_folded", "fallbacks")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.ops_recorded = 0  # LazyBuffer nodes created (movement included)
+        self.kernels = 0  # kernels actually launched at realize()
+        self.ops_fused = 0  # ops that rode along inside a fused kernel
+        self.movements_folded = 0  # movement ops resolved as views, not kernels
+        self.fallbacks = 0  # ops a non-numpy runtime punted to the reference kernels
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"KernelStats({inner})"
+
+
+#: Process-global counters; tests reset() around the region they measure.
+STATS = KernelStats()
+
+
+class LazyBuffer:
+    """One node of the deferred op graph."""
+
+    __slots__ = ("op", "srcs", "attrs", "shape", "keep", "realized", "saved")
+
+    def __init__(
+        self,
+        op: str,
+        srcs: Tuple["LazyBuffer", ...],
+        attrs: Optional[Dict[str, Any]],
+        shape: Tuple[int, ...],
+    ) -> None:
+        self.op = op
+        self.srcs = srcs
+        self.attrs = attrs
+        self.shape = tuple(shape)
+        self.keep = False
+        self.realized: Optional[np.ndarray] = None
+        self.saved: Optional[Dict[str, Any]] = None
+        if op != "const":
+            STATS.ops_recorded += 1
+
+    @classmethod
+    def const(cls, array: np.ndarray) -> "LazyBuffer":
+        """Wrap an already-computed array as a realized leaf."""
+        buf = cls("const", (), None, array.shape)
+        buf.realized = array
+        return buf
+
+    # ------------------------------------------------------------------
+    # ndarray-compatible introspection (no realization triggered)
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape)) if self.shape else 1
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def dtype(self):
+        if self.realized is not None:
+            return self.realized.dtype
+        return np.dtype(np.float64)
+
+    def realize(self) -> np.ndarray:
+        """Schedule, fuse and execute everything this buffer depends on."""
+        from .schedule import realize_buffer
+
+        return realize_buffer(self)
+
+    def __repr__(self) -> str:
+        state = "realized" if self.realized is not None else "pending"
+        return f"LazyBuffer(op={self.op!r}, shape={self.shape}, {state})"
+
+
+def wrap(value) -> LazyBuffer:
+    """Lift an ndarray (or pass through a LazyBuffer) into the graph."""
+    return value if type(value) is LazyBuffer else LazyBuffer.const(value)

@@ -1,0 +1,321 @@
+"""The op vocabulary of the compute engine and its numpy reference kernels.
+
+Every primitive the tensor layer can record is declared here as an
+:class:`OpSpec`: a kind (elementwise / reduce / contract / movement /
+other), the reference numpy kernel, a shape-inference rule, and whether
+the kernel produces *saved* intermediates that the autograd layer's
+backward closures consume (e.g. the im2col columns of a convolution).
+
+The reference kernels are the exact expressions the historical eager
+engine inlined, so eager and lazy realization are bit-identical; pluggable
+runtimes (:mod:`repro.engine.runtime`) may override any non-saving op and
+fall back to these kernels for the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+ELEMENTWISE = "elementwise"
+REDUCE = "reduce"
+CONTRACT = "contract"
+MOVEMENT = "movement"
+OTHER = "other"
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Declaration of one engine primitive."""
+
+    name: str
+    kind: str
+    kernel: Callable  # kernel(attrs, *arrays) -> value (or (value, saved))
+    shape: Callable  # shape(attrs, *src_shapes) -> output shape
+    saves: bool = False  # kernel returns (value, saved-intermediates dict)
+
+
+#: name -> OpSpec registry of every primitive the tensor layer records.
+OPS: Dict[str, OpSpec] = {}
+
+
+def _register(name, kind, kernel, shape, saves=False) -> None:
+    OPS[name] = OpSpec(name, kind, kernel, shape, saves)
+
+
+def run_kernel(
+    op: str, attrs: Optional[Dict[str, Any]], arrays
+) -> Tuple[np.ndarray, Optional[Dict[str, Any]]]:
+    """Execute ``op``'s reference kernel; returns ``(value, saved-or-None)``."""
+    spec = OPS[op]
+    out = spec.kernel(attrs or {}, *arrays)
+    if spec.saves:
+        return out
+    return out, None
+
+
+def infer_shape(op: str, attrs: Optional[Dict[str, Any]], shapes) -> Tuple[int, ...]:
+    """Output shape of ``op`` from its source shapes, without computing."""
+    return tuple(OPS[op].shape(attrs or {}, *shapes))
+
+
+# ----------------------------------------------------------------------
+# Shape-inference rules
+# ----------------------------------------------------------------------
+def _broadcast(attrs, *shapes):
+    return np.broadcast_shapes(*shapes)
+
+
+def _same(attrs, shape):
+    return shape
+
+
+def reduce_shape(shape, axis, keepdims: bool) -> Tuple[int, ...]:
+    """Shape of a numpy reduction over ``axis`` of ``shape``."""
+    if axis is None:
+        return tuple(1 for _ in shape) if keepdims else ()
+    axes = axis if isinstance(axis, tuple) else (axis,)
+    normalized = {a % len(shape) for a in axes}
+    if keepdims:
+        return tuple(1 if i in normalized else dim for i, dim in enumerate(shape))
+    return tuple(dim for i, dim in enumerate(shape) if i not in normalized)
+
+
+def _reduce(attrs, shape):
+    return reduce_shape(shape, attrs.get("axis"), attrs.get("keepdims", False))
+
+
+def matmul_shape(a: Tuple[int, ...], b: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Shape of ``a @ b`` under numpy matmul rules (1-D promotion included)."""
+    if len(a) == 1 and len(b) == 1:
+        return ()
+    if len(a) == 1:
+        return tuple(b[:-2]) + (b[-1],)
+    if len(b) == 1:
+        return tuple(a[:-1])
+    batch = np.broadcast_shapes(a[:-2], b[:-2])
+    return tuple(batch) + (a[-2], b[-1])
+
+
+def _matmul(attrs, a, b):
+    return matmul_shape(a, b)
+
+
+def _attr_shape(attrs, *shapes):
+    return attrs["out_shape"]
+
+
+def _getitem_shape(attrs, shape):
+    # Index semantics (basic/advanced/boolean) are numpy's; probe them on a
+    # 1-byte-per-element dummy instead of reimplementing the rules.
+    return np.empty(shape, dtype=np.int8)[attrs["index"]].shape
+
+
+def _pad2d_shape(attrs, shape):
+    padding = attrs["padding"]
+    return tuple(shape[:-2]) + (shape[-2] + 2 * padding, shape[-1] + 2 * padding)
+
+
+def _concat_shape(attrs, *shapes):
+    axis = attrs.get("axis", 0)
+    out = list(shapes[0])
+    out[axis] = sum(shape[axis] for shape in shapes)
+    return tuple(out)
+
+
+def _stack_shape(attrs, *shapes):
+    axis = attrs.get("axis", 0) % (len(shapes[0]) + 1)
+    out = list(shapes[0])
+    out.insert(axis, len(shapes))
+    return tuple(out)
+
+
+# ----------------------------------------------------------------------
+# Elementwise kernels (the historical eager expressions, verbatim)
+# ----------------------------------------------------------------------
+_register("add", ELEMENTWISE, lambda attrs, a, b: a + b, _broadcast)
+_register("mul", ELEMENTWISE, lambda attrs, a, b: a * b, _broadcast)
+_register("div", ELEMENTWISE, lambda attrs, a, b: a / b, _broadcast)
+_register("neg", ELEMENTWISE, lambda attrs, a: -a, _same)
+_register("pow", ELEMENTWISE, lambda attrs, a: a ** attrs["exponent"], _same)
+_register("exp", ELEMENTWISE, lambda attrs, a: np.exp(a), _same)
+_register("log", ELEMENTWISE, lambda attrs, a: np.log(a), _same)
+_register("tanh", ELEMENTWISE, lambda attrs, a: np.tanh(a), _same)
+_register("sigmoid", ELEMENTWISE, lambda attrs, a: 1.0 / (1.0 + np.exp(-a)), _same)
+_register("relu", ELEMENTWISE, lambda attrs, a: a * (a > 0), _same)
+_register("abs", ELEMENTWISE, lambda attrs, a: np.abs(a), _same)
+
+# ----------------------------------------------------------------------
+# Reductions
+# ----------------------------------------------------------------------
+_register(
+    "sum",
+    REDUCE,
+    lambda attrs, a: a.sum(axis=attrs.get("axis"), keepdims=attrs.get("keepdims", False)),
+    _reduce,
+)
+_register(
+    "max",
+    REDUCE,
+    lambda attrs, a: a.max(axis=attrs.get("axis"), keepdims=attrs.get("keepdims", False)),
+    _reduce,
+)
+
+# ----------------------------------------------------------------------
+# Movement ops (realized as views folded into consumers, never kernels)
+# ----------------------------------------------------------------------
+_register(
+    "reshape",
+    MOVEMENT,
+    lambda attrs, a: a.reshape(attrs["shape"]),
+    lambda attrs, shape: tuple(attrs["shape"]),
+)
+_register(
+    "transpose",
+    MOVEMENT,
+    lambda attrs, a: a.transpose(attrs["axes"]),
+    lambda attrs, shape: tuple(shape[a] for a in attrs["axes"]),
+)
+_register(
+    "expand",
+    MOVEMENT,
+    lambda attrs, a: np.broadcast_to(a, attrs["shape"]),
+    lambda attrs, shape: tuple(attrs["shape"]),
+)
+
+
+def movement_apply(op: str, attrs: Dict[str, Any], array: np.ndarray) -> np.ndarray:
+    """Apply a movement op as a (cheap, usually zero-copy) numpy view."""
+    return OPS[op].kernel(attrs, array)
+
+
+# ----------------------------------------------------------------------
+# Contractions
+# ----------------------------------------------------------------------
+_register("matmul", CONTRACT, lambda attrs, a, b: a @ b, _matmul)
+
+
+def im2col(
+    padded: np.ndarray, kernel_h: int, kernel_w: int, stride: int, out_h: int, out_w: int
+) -> np.ndarray:
+    """Unfold a padded ``(N, C, H, W)`` batch into ``(N, C*kh*kw, out_h*out_w)``."""
+    batch, channels = padded.shape[:2]
+    cols = np.empty(
+        (batch, channels, kernel_h, kernel_w, out_h, out_w), dtype=padded.dtype
+    )
+    for i in range(kernel_h):
+        i_end = i + stride * out_h
+        for j in range(kernel_w):
+            j_end = j + stride * out_w
+            cols[:, :, i, j] = padded[:, :, i:i_end:stride, j:j_end:stride]
+    return cols.reshape(batch, channels * kernel_h * kernel_w, out_h * out_w)
+
+
+def col2im(
+    cols: np.ndarray,
+    padded_shape: Tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    out_h: int,
+    out_w: int,
+) -> np.ndarray:
+    """Fold ``(N, C*kh*kw, out_h*out_w)`` columns back, summing overlaps."""
+    batch, channels = padded_shape[:2]
+    grad = np.zeros(padded_shape, dtype=cols.dtype)
+    cols = cols.reshape(batch, channels, kernel_h, kernel_w, out_h, out_w)
+    for i in range(kernel_h):
+        i_end = i + stride * out_h
+        for j in range(kernel_w):
+            j_end = j + stride * out_w
+            grad[:, :, i:i_end:stride, j:j_end:stride] += cols[:, :, i, j]
+    return grad
+
+
+def _conv2d_kernel(attrs, x, weight, bias=None):
+    stride, padding = attrs["stride"], attrs["padding"]
+    out_h, out_w = attrs["out_shape"][-2:]
+    batch = x.shape[0]
+    out_channels, _, kernel_h, kernel_w = weight.shape
+    if padding:
+        padded = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    else:
+        padded = x
+    cols = im2col(padded, kernel_h, kernel_w, stride, out_h, out_w)
+    w2d = weight.reshape(out_channels, -1)
+    result = np.einsum("fk,nkl->nfl", w2d, cols, optimize=True)
+    result = result.reshape(batch, out_channels, out_h, out_w)
+    if bias is not None:
+        result = result + bias.reshape(1, -1, 1, 1)
+    return result, {"cols": cols, "w2d": w2d, "padded_shape": padded.shape}
+
+
+_register("conv2d", CONTRACT, _conv2d_kernel, _attr_shape, saves=True)
+
+
+def _max_pool2d_kernel(attrs, x):
+    kernel, stride = attrs["kernel"], attrs["stride"]
+    out_h, out_w = attrs["out_shape"][-2:]
+    batch, channels = x.shape[:2]
+    windows = np.empty((batch, channels, out_h, out_w, kernel * kernel), dtype=x.dtype)
+    idx = 0
+    for i in range(kernel):
+        i_end = i + stride * out_h
+        for j in range(kernel):
+            j_end = j + stride * out_w
+            windows[..., idx] = x[:, :, i:i_end:stride, j:j_end:stride]
+            idx += 1
+    argmax = windows.argmax(axis=-1)
+    value = np.take_along_axis(windows, argmax[..., None], axis=-1)[..., 0]
+    return value, {"argmax": argmax}
+
+
+_register("max_pool2d", CONTRACT, _max_pool2d_kernel, _attr_shape, saves=True)
+
+
+def _log_softmax_kernel(attrs, x):
+    axis = attrs.get("axis", -1)
+    shifted = x - x.max(axis=axis, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    value = shifted - log_sum
+    return value, {"softmax": np.exp(value)}
+
+
+_register("log_softmax", CONTRACT, _log_softmax_kernel, _same, saves=True)
+
+
+def _nll_loss_kernel(attrs, log_probs):
+    targets = attrs["targets"]
+    picked = log_probs[np.arange(log_probs.shape[0]), targets]
+    return np.asarray(-picked.mean())
+
+
+_register("nll_loss", OTHER, _nll_loss_kernel, lambda attrs, shape: ())
+
+# ----------------------------------------------------------------------
+# Indexing / padding / joining
+# ----------------------------------------------------------------------
+_register("getitem", OTHER, lambda attrs, a: a[attrs["index"]], _getitem_shape)
+
+
+def _pad2d_kernel(attrs, a):
+    padding = attrs["padding"]
+    pad_width = [(0, 0)] * (a.ndim - 2) + [(padding, padding), (padding, padding)]
+    return np.pad(a, pad_width)
+
+
+_register("pad2d", OTHER, _pad2d_kernel, _pad2d_shape)
+_register(
+    "concat",
+    OTHER,
+    lambda attrs, *arrays: np.concatenate(arrays, axis=attrs.get("axis", 0)),
+    _concat_shape,
+)
+_register(
+    "stack",
+    OTHER,
+    lambda attrs, *arrays: np.stack(arrays, axis=attrs.get("axis", 0)),
+    _stack_shape,
+)

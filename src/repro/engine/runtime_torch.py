@@ -1,0 +1,99 @@
+"""Optional torch runtime: registered only when ``torch`` is installed.
+
+Implements the dense compute core — elementwise, reductions, matmul — on
+torch tensors (CUDA when available, CPU otherwise); everything else falls
+back to the numpy reference kernels through :meth:`Runtime.run`.  All
+math stays in float64, matching the engine's default dtype.
+
+Registration is gated on ``importlib.util.find_spec`` so importing this
+module never pays for (or requires) the torch import itself; torch loads
+on first :func:`~repro.engine.runtime.get_runtime` instantiation.  On a
+torch-less install the registry simply lists only the numpy runtime.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+import numpy as np
+
+from .runtime import Runtime, register_runtime
+
+if importlib.util.find_spec("torch") is not None:
+
+    @register_runtime(
+        "torch", summary="elementwise/reduce/matmul on torch (CUDA if available)"
+    )
+    class TorchRuntime(Runtime):
+        """Torch-backed realization of the dense compute core."""
+
+        _CORE = frozenset(
+            {
+                "add", "mul", "div", "neg", "pow", "exp", "log", "tanh",
+                "sigmoid", "relu", "abs", "sum", "max", "matmul",
+            }
+        )
+
+        def __init__(self) -> None:
+            import torch
+
+            self.torch = torch
+            self.device = "cuda" if torch.cuda.is_available() else "cpu"
+
+        def supports(self, op: str) -> bool:
+            return op in self._CORE
+
+        def to_device(self, array: np.ndarray):
+            if not array.flags.writeable:
+                # torch.from_numpy rejects or warns on read-only views
+                # (e.g. broadcast results of folded expand ops).
+                array = np.ascontiguousarray(array)
+            try:
+                tensor = self.torch.from_numpy(array)
+            except ValueError:  # negative-stride views
+                tensor = self.torch.from_numpy(np.ascontiguousarray(array))
+            return tensor.to(self.device) if self.device != "cpu" else tensor
+
+        def to_host(self, value) -> np.ndarray:
+            return value.detach().cpu().numpy()
+
+        def execute(self, op: str, attrs, args):
+            torch, attrs = self.torch, attrs or {}
+            if op == "add":
+                return args[0] + args[1]
+            if op == "mul":
+                return args[0] * args[1]
+            if op == "div":
+                return args[0] / args[1]
+            if op == "neg":
+                return -args[0]
+            if op == "pow":
+                return args[0] ** attrs["exponent"]
+            if op == "exp":
+                return torch.exp(args[0])
+            if op == "log":
+                return torch.log(args[0])
+            if op == "tanh":
+                return torch.tanh(args[0])
+            if op == "sigmoid":
+                return torch.sigmoid(args[0])
+            if op == "relu":
+                return args[0] * (args[0] > 0)
+            if op == "abs":
+                return torch.abs(args[0])
+            if op == "matmul":
+                return args[0] @ args[1]
+            if op in ("sum", "max"):
+                return self._reduce(op, attrs, args[0])
+            raise KeyError(f"torch runtime does not implement {op!r}")
+
+        def _reduce(self, op, attrs, value):
+            axis, keepdims = attrs.get("axis"), attrs.get("keepdims", False)
+            if axis is None:
+                result = value.sum() if op == "sum" else value.max()
+                if keepdims:
+                    result = result.reshape((1,) * value.ndim)
+                return result
+            if op == "sum":
+                return value.sum(dim=axis, keepdim=keepdims)
+            return self.torch.amax(value, dim=axis, keepdim=keepdims)

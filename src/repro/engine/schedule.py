@@ -1,0 +1,145 @@
+"""Graph scheduling: linearize at realize() points, fuse, execute.
+
+``realize_buffer`` is the engine's only exit to real numbers.  It walks
+the pending graph below one :class:`~repro.engine.lazy.LazyBuffer` in
+topological order, groups it into kernels, and executes the kernels
+through the active runtime (numpy when none is active — a buffer can
+always realize, even outside a ``compute_scope``).
+
+Two optimizations happen between linearization and execution:
+
+* **Elementwise fusion** — a chain of elementwise ops where each interior
+  node has exactly one consumer and is not ``keep``-marked collapses into
+  one fused kernel; only the chain tail materializes.  Interior values
+  the autograd layer will read are ``keep``-marked at record time, so
+  training never recomputes (and stays bit-identical with eager).
+* **Movement folding** — reshape/transpose/expand never launch kernels;
+  they resolve to numpy views at the consuming kernel's input fetch
+  (``STATS.movements_folded`` counts them).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from .lazy import MOVEMENT_OPS, STATS, LazyBuffer
+from .ops import ELEMENTWISE, OPS, movement_apply
+from . import runtime as _runtime
+
+
+def realize_buffer(root: LazyBuffer) -> np.ndarray:
+    """Compute (and cache) the value of ``root``, fusing where possible."""
+    if root.realized is not None:
+        return root.realized
+    active = _runtime.active_runtime()
+    runtime = active if active is not None else _runtime.get_runtime("numpy")
+    order = _linearize(root)
+    for group in _fuse(order, _runtime.fusion_enabled()):
+        _run_group(group, runtime)
+    return _as_view(root)
+
+
+def _linearize(root: LazyBuffer) -> List[LazyBuffer]:
+    """Topological order of every unrealized node reachable from ``root``."""
+    order: List[LazyBuffer] = []
+    visited = set()
+    stack = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for src in node.srcs:
+            if src.realized is None and id(src) not in visited:
+                stack.append((src, False))
+    return order
+
+
+def _fuse(order: List[LazyBuffer], fusion: bool) -> List[List[LazyBuffer]]:
+    """Group the linearized nodes into kernels (movement ops join none)."""
+    consumers: Dict[int, int] = {}
+    for node in order:
+        for src in node.srcs:
+            if src.realized is None:
+                consumers[id(src)] = consumers.get(id(src), 0) + 1
+    groups: List[List[LazyBuffer]] = []
+    group_of: Dict[int, List[LazyBuffer]] = {}
+    for node in order:
+        if node.op in MOVEMENT_OPS:
+            continue
+        tail = None
+        if fusion and OPS[node.op].kind == ELEMENTWISE:
+            for src in node.srcs:
+                group = group_of.get(id(src))
+                if (
+                    group is not None
+                    and group[-1] is src
+                    and not src.keep
+                    and consumers.get(id(src)) == 1
+                    and OPS[src.op].kind == ELEMENTWISE
+                ):
+                    tail = group
+                    break
+        if tail is not None:
+            tail.append(node)
+            group_of[id(node)] = tail
+        else:
+            group = [node]
+            groups.append(group)
+            group_of[id(node)] = group
+    return groups
+
+
+def _run_group(group: List[LazyBuffer], runtime) -> None:
+    """Execute one (possibly fused) kernel; materialize only the tail."""
+    device_values: Dict[int, object] = {}
+    for node in group:
+        args = [_fetch(src, device_values, runtime) for src in node.srcs]
+        value, saved = runtime.run(node.op, node.attrs, args)
+        device_values[id(node)] = value
+        if saved is not None:
+            node.saved = saved
+    tail = group[-1]
+    value = device_values[id(tail)]
+    if not isinstance(value, np.ndarray):
+        value = runtime.to_host(value)
+        if not isinstance(value, np.ndarray):
+            value = np.asarray(value)  # numpy returns scalars for 0-d results
+    tail.realized = value
+    STATS.kernels += 1
+    STATS.ops_fused += len(group) - 1
+
+
+def _fetch(src: LazyBuffer, device_values: Dict[int, object], runtime):
+    """Resolve one kernel input: group temp, cached result, or folded view.
+
+    Host arrays are returned as-is; :meth:`Runtime.run` uploads them when
+    (and only when) the op actually executes on the backend.
+    """
+    if id(src) in device_values:
+        return device_values[id(src)]
+    if src.realized is not None:
+        return src.realized
+    if src.op in MOVEMENT_OPS:
+        return _as_view(src)
+    # Defensive: topological order should have realized every source.
+    return realize_buffer(src)
+
+
+def _as_view(buf: LazyBuffer) -> np.ndarray:
+    """Realize a movement chain as stacked numpy views over its base."""
+    if buf.realized is not None:
+        return buf.realized
+    if buf.op not in MOVEMENT_OPS:
+        # The scheduling pass materializes every non-movement tail; reaching
+        # here means `buf` was not part of the schedule (e.g. a fresh root).
+        return realize_buffer(buf)
+    buf.realized = movement_apply(buf.op, buf.attrs, _as_view(buf.srcs[0]))
+    STATS.movements_folded += 1
+    return buf.realized

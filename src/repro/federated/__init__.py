@@ -85,6 +85,7 @@ from .scenario import (
     unregister_sampler,
 )
 from ..data.partition import DataConfig
+from ..engine import ComputeConfig
 from .trainers import (
     FedAvg,
     FedMTL,
@@ -152,6 +153,7 @@ def __getattr__(name: str):
 
 __all__ = [
     "Federation",
+    "ComputeConfig",
     "FederationConfig",
     "ClientTask",
     "ClientUpdate",

@@ -47,6 +47,7 @@ from typing import Any, Callable, Dict, List, Mapping
 
 from ..data import DataConfig, build_client_data, load_dataset
 from ..data.registry import get_dataset, get_partitioner
+from ..engine import ComputeConfig
 from ..models import create_model
 from ..models.base import ConvNet
 from ..pruning import StructuredConfig, UnstructuredConfig
@@ -67,6 +68,7 @@ _SECTION_TYPES = {
     "data": DataConfig,
     "scenario": ScenarioConfig,
     "systems": SystemsConfig,
+    "compute": ComputeConfig,
 }
 
 #: ``scenario`` fields the PR-4 schema carried.  Newer fields (the fleet
@@ -140,6 +142,7 @@ class FederationConfig:
     data: DataConfig = field(default_factory=DataConfig)
     scenario: ScenarioConfig = field(default_factory=ScenarioConfig)
     systems: SystemsConfig | None = None  # fleet simulation (None = disabled)
+    compute: ComputeConfig = field(default_factory=ComputeConfig)
     local: LocalTrainConfig = field(default_factory=LocalTrainConfig)
     unstructured: UnstructuredConfig | None = None
     structured: StructuredConfig | None = None
@@ -250,6 +253,11 @@ class FederationConfig:
             }
         if self.systems is not None:
             payload["systems"] = asdict(self.systems)
+        if self.compute != ComputeConfig():
+            # The compute engine choice joins the hash only when it leaves
+            # the historical eager default, so every pre-compute-section
+            # config keeps its stable_hash and stored results still resume.
+            payload["compute"] = asdict(self.compute)
         return payload
 
     def stable_hash(self, extra: Mapping[str, Any] | None = None) -> str:

@@ -25,7 +25,7 @@ from ..models.base import ConvNet
 from ..nn import CrossEntropyLoss
 from ..optim import SGD
 from ..pruning import MaskSet, PruningController
-from ..tensor import Tensor
+from ..tensor import Tensor, no_grad
 from ..data.partition import ClientData
 
 
@@ -234,10 +234,11 @@ class FederatedClient:
         self.model.eval()
         correct = 0
         images, labels = full_batch(dataset)
-        for start in range(0, len(labels), batch_size):
-            chunk = images[start : start + batch_size]
-            predictions = self.model(Tensor(chunk)).data.argmax(axis=1)
-            correct += int((predictions == labels[start : start + batch_size]).sum())
+        with no_grad():
+            for start in range(0, len(labels), batch_size):
+                chunk = images[start : start + batch_size]
+                predictions = self.model(Tensor(chunk)).data.argmax(axis=1)
+                correct += int((predictions == labels[start : start + batch_size]).sum())
         self.model.train()
         return correct / len(labels)
 

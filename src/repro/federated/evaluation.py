@@ -16,7 +16,7 @@ from typing import Mapping
 import numpy as np
 
 from ..data.loader import full_batch
-from ..tensor import Tensor
+from ..tensor import Tensor, no_grad
 
 
 def confusion_matrix(
@@ -44,11 +44,12 @@ def model_confusion(model, dataset, num_classes: int, batch_size: int = 256) -> 
     model.eval()
     images, labels = full_batch(dataset)
     predictions = np.empty(len(labels), dtype=np.int64)
-    for start in range(0, len(labels), batch_size):
-        chunk = images[start : start + batch_size]
-        predictions[start : start + len(chunk)] = (
-            model(Tensor(chunk)).data.argmax(axis=1)
-        )
+    with no_grad():
+        for start in range(0, len(labels), batch_size):
+            chunk = images[start : start + batch_size]
+            predictions[start : start + len(chunk)] = (
+                model(Tensor(chunk)).data.argmax(axis=1)
+            )
     model.train()
     return confusion_matrix(predictions, labels, num_classes)
 

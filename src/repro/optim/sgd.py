@@ -77,26 +77,27 @@ class SGD:
         for name, param in self._named:
             if param.grad is None:
                 continue
+            data = param.data  # one realize/property access per parameter
             grad = param.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+                grad = grad + self.weight_decay * data
             mask = self._masks.get(name)
             if mask is not None:
                 grad = grad * mask
             if self.momentum:
                 velocity = self._velocity.get(name)
                 if velocity is None:
-                    velocity = np.zeros_like(param.data)
+                    velocity = np.zeros_like(data)
                     self._velocity[name] = velocity
                 velocity *= self.momentum
                 velocity += grad
                 update = velocity
             else:
                 update = grad
-            param.data -= self.lr * update
+            data -= self.lr * update
             if mask is not None:
                 # Keep pruned coordinates exactly zero even under weight decay.
-                param.data *= mask
+                data *= mask
 
     def state_dict(self) -> Dict[str, np.ndarray]:
         return {name: velocity.copy() for name, velocity in self._velocity.items()}

@@ -1,6 +1,20 @@
-"""Reverse-mode autograd engine on numpy (the reproduction's PyTorch stand-in)."""
+"""Reverse-mode autograd engine on numpy (the reproduction's PyTorch stand-in).
 
-from .tensor import Tensor, concat, ones, stack, unbroadcast, zeros
+Forward execution is delegated to :mod:`repro.engine` — eager reference
+kernels by default, lazy graph recording with fusion under a
+``compute: {engine: lazy}`` run config.
+"""
+
+from .tensor import (
+    Tensor,
+    concat,
+    grad_enabled,
+    no_grad,
+    ones,
+    stack,
+    unbroadcast,
+    zeros,
+)
 from .ops import (
     batch_norm,
     conv2d,
@@ -22,6 +36,8 @@ __all__ = [
     "zeros",
     "ones",
     "unbroadcast",
+    "no_grad",
+    "grad_enabled",
     "conv2d",
     "max_pool2d",
     "batch_norm",

@@ -3,11 +3,16 @@
 Used by the test suite to verify every op and layer against central
 differences.  Runs in float64 (the engine default) so the usual ``1e-5``
 step size gives ~1e-7 accuracy on smooth ops.
+
+For expensive ops (convolution over even a small batch has thousands of
+inputs, each costing two forward passes), ``max_checks`` samples a seeded
+random subset of entries instead of sweeping all of them — the check
+stays deterministic while its cost becomes O(max_checks) forward pairs.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -15,13 +20,27 @@ from .tensor import Tensor
 
 
 def numerical_gradient(
-    func: Callable[[], Tensor], tensor: Tensor, eps: float = 1e-5
+    func: Callable[[], Tensor],
+    tensor: Tensor,
+    eps: float = 1e-5,
+    max_checks: Optional[int] = None,
+    seed: int = 0,
 ) -> np.ndarray:
-    """Central-difference gradient of ``func()`` (a scalar) w.r.t. ``tensor``."""
-    grad = np.zeros_like(tensor.data)
+    """Central-difference gradient of ``func()`` (a scalar) w.r.t. ``tensor``.
+
+    With ``max_checks`` set and smaller than ``tensor.size``, only a seeded
+    random sample of entries is perturbed; unchecked entries are NaN in the
+    returned array (callers compare only where finite).
+    """
+    grad = np.full(tensor.shape, np.nan, dtype=tensor.data.dtype)
     flat = tensor.data.ravel()
     grad_flat = grad.ravel()
-    for i in range(flat.size):
+    if max_checks is not None and max_checks < flat.size:
+        rng = np.random.default_rng(seed)
+        indices = rng.choice(flat.size, size=max_checks, replace=False)
+    else:
+        indices = range(flat.size)
+    for i in indices:
         original = flat[i]
         flat[i] = original + eps
         plus = func().item()
@@ -38,12 +57,15 @@ def check_gradients(
     eps: float = 1e-5,
     atol: float = 1e-5,
     rtol: float = 1e-4,
+    max_checks: Optional[int] = None,
+    seed: int = 0,
 ) -> bool:
     """Compare analytic and numerical gradients of ``func`` for ``tensors``.
 
     ``func`` must rebuild the graph on every call (it is invoked repeatedly
     with perturbed leaf data).  Raises ``AssertionError`` with a diagnostic
-    message on mismatch; returns ``True`` on success.
+    message on mismatch; returns ``True`` on success.  ``max_checks``
+    bounds the number of entries checked per tensor (seeded sampling).
     """
     for tensor in tensors:
         tensor.zero_grad()
@@ -53,9 +75,12 @@ def check_gradients(
         if not tensor.requires_grad:
             continue
         analytic = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
-        numeric = numerical_gradient(func, tensor, eps=eps)
-        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
-            worst = np.abs(analytic - numeric).max()
+        numeric = numerical_gradient(
+            func, tensor, eps=eps, max_checks=max_checks, seed=seed
+        )
+        checked = np.isfinite(numeric)
+        if not np.allclose(analytic[checked], numeric[checked], atol=atol, rtol=rtol):
+            worst = np.abs(analytic[checked] - numeric[checked]).max()
             raise AssertionError(
                 f"gradient mismatch for tensor #{index} (shape {tensor.shape}): "
                 f"max abs error {worst:.3e}"

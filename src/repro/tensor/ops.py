@@ -4,56 +4,33 @@ Convolution, max-pooling and batch normalization are implemented as single
 graph nodes rather than compositions of primitive tensor ops.  This keeps the
 autograd graph small and the numpy work vectorized, which matters because the
 federated experiments train hundreds of client models.
+
+Forward values route through the compute engine (:mod:`repro.engine`) like
+the primitive tensor ops do: under a lazy compute config they record as
+single graph nodes whose kernels stash *saved* intermediates (im2col
+columns, pool argmax, softmax) on the buffer for the backward closures.
+Two deliberate eager islands remain:
+
+* :func:`batch_norm` mutates its running statistics in place at call time
+  (PyTorch semantics), so deferring it would defer the statistics update —
+  it synchronizes its input and executes immediately.
+* :func:`dropout` draws its mask from the caller's RNG at call time to
+  preserve the eager engine's stream consumption order exactly; only the
+  masking multiply itself is recorded.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
-from .tensor import Tensor
+from ..engine.ops import col2im, im2col  # noqa: F401  (re-exported, historical home)
+from .tensor import Tensor, _apply, _make, _saved_of, grad_enabled
 
 
 def _conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
     return (size + 2 * padding - kernel) // stride + 1
-
-
-def im2col(
-    padded: np.ndarray, kernel_h: int, kernel_w: int, stride: int, out_h: int, out_w: int
-) -> np.ndarray:
-    """Unfold a padded ``(N, C, H, W)`` batch into ``(N, C*kh*kw, out_h*out_w)``."""
-    batch, channels = padded.shape[:2]
-    cols = np.empty(
-        (batch, channels, kernel_h, kernel_w, out_h, out_w), dtype=padded.dtype
-    )
-    for i in range(kernel_h):
-        i_end = i + stride * out_h
-        for j in range(kernel_w):
-            j_end = j + stride * out_w
-            cols[:, :, i, j] = padded[:, :, i:i_end:stride, j:j_end:stride]
-    return cols.reshape(batch, channels * kernel_h * kernel_w, out_h * out_w)
-
-
-def col2im(
-    cols: np.ndarray,
-    padded_shape: Tuple[int, int, int, int],
-    kernel_h: int,
-    kernel_w: int,
-    stride: int,
-    out_h: int,
-    out_w: int,
-) -> np.ndarray:
-    """Fold ``(N, C*kh*kw, out_h*out_w)`` columns back, summing overlaps."""
-    batch, channels = padded_shape[:2]
-    grad = np.zeros(padded_shape, dtype=cols.dtype)
-    cols = cols.reshape(batch, channels, kernel_h, kernel_w, out_h, out_w)
-    for i in range(kernel_h):
-        i_end = i + stride * out_h
-        for j in range(kernel_w):
-            j_end = j + stride * out_w
-            grad[:, :, i:i_end:stride, j:j_end:stride] += cols[:, :, i, j]
-    return grad
 
 
 def conv2d(
@@ -75,40 +52,37 @@ def conv2d(
     if out_h <= 0 or out_w <= 0:
         raise ValueError("convolution output size is non-positive; check kernel/stride/padding")
 
-    if padding:
-        padded = np.pad(x.data, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
-    else:
-        padded = x.data
-    cols = im2col(padded, kernel_h, kernel_w, stride, out_h, out_w)
-    w2d = weight.data.reshape(out_channels, -1)
-    result = np.einsum("fk,nkl->nfl", w2d, cols, optimize=True)
-    result = result.reshape(batch, out_channels, out_h, out_w)
-    if bias is not None:
-        result = result + bias.data.reshape(1, -1, 1, 1)
+    out_shape = (batch, out_channels, out_h, out_w)
+    attrs = {"stride": stride, "padding": padding, "out_shape": out_shape}
+    args = (x._data, weight._data) if bias is None else (x._data, weight._data, bias._data)
+    value, saved = _apply("conv2d", args, attrs, out_shape)
 
     parents = (x, weight) if bias is None else (x, weight, bias)
-    requires = any(p.requires_grad for p in parents)
-    out = Tensor(result, requires_grad=requires, _parents=parents)
+    requires = grad_enabled() and any(p.requires_grad for p in parents)
+    out = _make(value, requires, parents)
+    if requires:
 
-    def _backward(grad: np.ndarray) -> None:
-        grad2d = grad.reshape(batch, out_channels, out_h * out_w)
-        if bias is not None and bias.requires_grad:
-            bias._accumulate(grad.sum(axis=(0, 2, 3)))
-        if weight.requires_grad:
-            grad_w = np.einsum("nfl,nkl->fk", grad2d, cols, optimize=True)
-            weight._accumulate(grad_w.reshape(weight.shape))
-        if x.requires_grad:
-            grad_cols = np.einsum("fk,nfl->nkl", w2d, grad2d, optimize=True)
-            grad_padded = col2im(
-                grad_cols, padded.shape, kernel_h, kernel_w, stride, out_h, out_w
-            )
-            if padding:
-                grad_x = grad_padded[:, :, padding:-padding, padding:-padding]
-            else:
-                grad_x = grad_padded
-            x._accumulate(grad_x)
+        def _backward(grad: np.ndarray) -> None:
+            stash = saved if saved is not None else _saved_of(value)
+            cols, w2d, padded_shape = stash["cols"], stash["w2d"], stash["padded_shape"]
+            grad2d = grad.reshape(batch, out_channels, out_h * out_w)
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(grad.sum(axis=(0, 2, 3)))
+            if weight.requires_grad:
+                grad_w = np.einsum("nfl,nkl->fk", grad2d, cols, optimize=True)
+                weight._accumulate(grad_w.reshape(weight.shape))
+            if x.requires_grad:
+                grad_cols = np.einsum("fk,nfl->nkl", w2d, grad2d, optimize=True)
+                grad_padded = col2im(
+                    grad_cols, padded_shape, kernel_h, kernel_w, stride, out_h, out_w
+                )
+                if padding:
+                    grad_x = grad_padded[:, :, padding:-padding, padding:-padding]
+                else:
+                    grad_x = grad_padded
+                x._accumulate(grad_x)
 
-    out._backward = _backward
+        out._backward = _backward
     return out
 
 
@@ -120,37 +94,28 @@ def max_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tens
     out_h = (height - kernel) // stride + 1
     out_w = (width - kernel) // stride + 1
 
-    windows = np.empty(
-        (batch, channels, out_h, out_w, kernel * kernel), dtype=x.data.dtype
-    )
-    idx = 0
-    for i in range(kernel):
-        i_end = i + stride * out_h
-        for j in range(kernel):
-            j_end = j + stride * out_w
-            windows[..., idx] = x.data[:, :, i:i_end:stride, j:j_end:stride]
-            idx += 1
-    argmax = windows.argmax(axis=-1)
-    value = np.take_along_axis(windows, argmax[..., None], axis=-1)[..., 0]
+    out_shape = (batch, channels, out_h, out_w)
+    attrs = {"kernel": kernel, "stride": stride, "out_shape": out_shape}
+    value, saved = _apply("max_pool2d", (x._data,), attrs, out_shape)
 
-    out = Tensor(value, requires_grad=x.requires_grad, _parents=(x,))
+    requires = grad_enabled() and x.requires_grad
+    out = _make(value, requires, (x,))
+    if requires:
 
-    def _backward(grad: np.ndarray) -> None:
-        if not x.requires_grad:
-            return
-        grad_x = np.zeros_like(x.data)
-        flat = argmax
-        for idx in range(kernel * kernel):
-            i, j = divmod(idx, kernel)
-            mask = flat == idx
-            if not mask.any():
-                continue
-            i_end = i + stride * out_h
-            j_end = j + stride * out_w
-            grad_x[:, :, i:i_end:stride, j:j_end:stride] += grad * mask
-        x._accumulate(grad_x)
+        def _backward(grad: np.ndarray) -> None:
+            argmax = (saved if saved is not None else _saved_of(value))["argmax"]
+            grad_x = np.zeros(x.shape)
+            for idx in range(kernel * kernel):
+                i, j = divmod(idx, kernel)
+                mask = argmax == idx
+                if not mask.any():
+                    continue
+                i_end = i + stride * out_h
+                j_end = j + stride * out_w
+                grad_x[:, :, i:i_end:stride, j:j_end:stride] += grad * mask
+            x._accumulate(grad_x)
 
-    out._backward = _backward
+        out._backward = _backward
     return out
 
 
@@ -168,6 +133,8 @@ def batch_norm(
 
     ``running_mean`` / ``running_var`` are updated in place during training,
     mirroring PyTorch semantics (exponential moving average with ``momentum``).
+    The in-place statistics update is why this op is an eager island: it
+    synchronizes ``x`` and executes immediately even under a lazy engine.
     """
     if x.ndim == 4:
         axes = (0, 2, 3)
@@ -203,47 +170,47 @@ def batch_norm(
     result = gamma.data.reshape(shape) * x_hat + beta.data.reshape(shape)
 
     parents = (x, gamma, beta)
-    requires = any(p.requires_grad for p in parents)
-    out = Tensor(result, requires_grad=requires, _parents=parents)
+    requires = grad_enabled() and any(p.requires_grad for p in parents)
+    out = _make(result, requires, parents)
+    if requires:
 
-    def _backward(grad: np.ndarray) -> None:
-        if beta.requires_grad:
-            beta._accumulate(grad.sum(axis=axes))
-        if gamma.requires_grad:
-            gamma._accumulate((grad * x_hat).sum(axis=axes))
-        if not x.requires_grad:
-            return
-        g = gamma.data.reshape(shape)
-        if training:
-            grad_xhat = grad * g
-            sum_grad = grad_xhat.sum(axis=axes, keepdims=True)
-            sum_grad_xhat = (grad_xhat * x_hat).sum(axis=axes, keepdims=True)
-            grad_x = (
-                inv_std.reshape(shape)
-                / count
-                * (count * grad_xhat - sum_grad - x_hat * sum_grad_xhat)
-            )
-        else:
-            grad_x = grad * g * inv_std.reshape(shape)
-        x._accumulate(grad_x)
+        def _backward(grad: np.ndarray) -> None:
+            if beta.requires_grad:
+                beta._accumulate(grad.sum(axis=axes))
+            if gamma.requires_grad:
+                gamma._accumulate((grad * x_hat).sum(axis=axes))
+            if not x.requires_grad:
+                return
+            g = gamma.data.reshape(shape)
+            if training:
+                grad_xhat = grad * g
+                sum_grad = grad_xhat.sum(axis=axes, keepdims=True)
+                sum_grad_xhat = (grad_xhat * x_hat).sum(axis=axes, keepdims=True)
+                grad_x = (
+                    inv_std.reshape(shape)
+                    / count
+                    * (count * grad_xhat - sum_grad - x_hat * sum_grad_xhat)
+                )
+            else:
+                grad_x = grad * g * inv_std.reshape(shape)
+            x._accumulate(grad_x)
 
-    out._backward = _backward
+        out._backward = _backward
     return out
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable log-softmax along ``axis``."""
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-    value = shifted - log_sum
-    out = Tensor(value, requires_grad=x.requires_grad, _parents=(x,))
-    softmax = np.exp(value)
+    value, saved = _apply("log_softmax", (x._data,), {"axis": axis}, x.shape)
+    requires = grad_enabled() and x.requires_grad
+    out = _make(value, requires, (x,))
+    if requires:
 
-    def _backward(grad: np.ndarray) -> None:
-        if x.requires_grad:
+        def _backward(grad: np.ndarray) -> None:
+            softmax = (saved if saved is not None else _saved_of(value))["softmax"]
             x._accumulate(grad - softmax * grad.sum(axis=axis, keepdims=True))
 
-    out._backward = _backward
+        out._backward = _backward
     return out
 
 
@@ -256,17 +223,17 @@ def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
     """Negative log-likelihood of integer ``targets`` under ``log_probs``."""
     targets = np.asarray(targets)
     batch = log_probs.shape[0]
-    picked = log_probs.data[np.arange(batch), targets]
-    value = -picked.mean()
-    out = Tensor(value, requires_grad=log_probs.requires_grad, _parents=(log_probs,))
+    value, _ = _apply("nll_loss", (log_probs._data,), {"targets": targets}, ())
+    requires = grad_enabled() and log_probs.requires_grad
+    out = _make(value, requires, (log_probs,))
+    if requires:
 
-    def _backward(grad: np.ndarray) -> None:
-        if log_probs.requires_grad:
-            full = np.zeros_like(log_probs.data)
+        def _backward(grad: np.ndarray) -> None:
+            full = np.zeros(log_probs.shape)
             full[np.arange(batch), targets] = -1.0 / batch
             log_probs._accumulate(full * grad)
 
-    out._backward = _backward
+        out._backward = _backward
     return out
 
 
@@ -276,16 +243,22 @@ def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
 
 
 def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool) -> Tensor:
-    """Inverted dropout; identity when not training or ``rate == 0``."""
+    """Inverted dropout; identity when not training or ``rate == 0``.
+
+    The mask is drawn eagerly (RNG stream order must not depend on the
+    compute engine); only the multiply is recorded.
+    """
     if not training or rate <= 0.0:
         return x
     keep = 1.0 - rate
     mask = (rng.random(x.shape) < keep) / keep
-    out = Tensor(x.data * mask, requires_grad=x.requires_grad, _parents=(x,))
+    value, _ = _apply("mul", (x._data, mask))
+    requires = grad_enabled() and x.requires_grad
+    out = _make(value, requires, (x,))
+    if requires:
 
-    def _backward(grad: np.ndarray) -> None:
-        if x.requires_grad:
+        def _backward(grad: np.ndarray) -> None:
             x._accumulate(grad * mask)
 
-    out._backward = _backward
+        out._backward = _backward
     return out

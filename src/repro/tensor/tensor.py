@@ -1,12 +1,23 @@
-"""Reverse-mode automatic differentiation over numpy arrays.
+"""Reverse-mode automatic differentiation over the compute engine.
 
-This module provides the :class:`Tensor` class, a thin wrapper around
-``numpy.ndarray`` that records a computation graph and supports
-backpropagation.  It replaces the subset of PyTorch functionality the
-Sub-FedAvg reproduction needs: elementwise arithmetic with broadcasting,
-matrix multiplication, reductions, reshaping and indexing.  Convolution,
-pooling and batch-norm live in :mod:`repro.tensor.ops` as dedicated ops with
-hand-written backward passes for speed.
+This module provides the :class:`Tensor` class, a thin autograd wrapper
+that records a computation graph and supports backpropagation.  It
+replaces the subset of PyTorch functionality the Sub-FedAvg reproduction
+needs: elementwise arithmetic with broadcasting, matrix multiplication,
+reductions, reshaping and indexing.  Convolution, pooling and batch-norm
+live in :mod:`repro.tensor.ops` as dedicated ops with hand-written
+backward passes for speed.
+
+Every forward primitive routes through :func:`_apply`, which either runs
+the op's reference kernel immediately (the historical **eager** engine,
+the default) or records it as a :class:`~repro.engine.lazy.LazyBuffer`
+node when a lazy :class:`~repro.engine.ComputeConfig` is active.  In lazy
+mode ``Tensor._data`` holds the pending buffer; touching ``.data`` (or
+``item()``, ``backward()``, …) realizes it through the scheduler, which
+fuses elementwise chains and folds movement ops.  Backward passes are
+always eager numpy over realized arrays — intermediates a backward
+closure will read are ``keep``-marked at record time so fusion never
+hides them, keeping lazy training bit-identical to eager.
 
 Design notes
 ------------
@@ -15,17 +26,56 @@ Design notes
   calls each node's ``_backward`` closure exactly once.
 * Broadcasting in the forward pass is undone in the backward pass by
   :func:`unbroadcast`, which sums gradient over broadcast axes.
+* :func:`no_grad` suspends graph recording entirely — evaluation paths
+  use it, which also unlocks full fusion (no keep marks, no closures).
 """
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..engine.lazy import LazyBuffer
+from ..engine.ops import infer_shape, run_kernel
+from ..engine.runtime import active_runtime
+
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
 DEFAULT_DTYPE = np.float64
+
+class _GradMode(threading.local):
+    """Per-thread recording flag (the thread backend trains concurrently)."""
+
+    enabled = True
+
+
+_GRAD_MODE = _GradMode()
+
+
+def grad_enabled() -> bool:
+    """Whether new ops currently record backward closures (this thread)."""
+    return _GRAD_MODE.enabled
+
+
+@contextmanager
+def no_grad():
+    """Suspend gradient recording (and keep-marking) inside the block.
+
+    Evaluation paths run under this: outputs never require grad, no
+    backward closures are attached, and — under a lazy engine — no
+    intermediate is pinned for backward, so whole forward passes fuse.
+    The flag is thread-local, so a client evaluating on one worker thread
+    never disables recording for a client training on another.
+    """
+    previous = _GRAD_MODE.enabled
+    _GRAD_MODE.enabled = False
+    try:
+        yield
+    finally:
+        _GRAD_MODE.enabled = previous
 
 
 def _as_array(data: ArrayLike, dtype=DEFAULT_DTYPE) -> np.ndarray:
@@ -57,10 +107,78 @@ def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
-class Tensor:
-    """A numpy array plus the bookkeeping needed for backpropagation."""
+def _apply(op, args, attrs=None, out_shape=None):
+    """Run or record one engine primitive over raw ``_data`` values.
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    Eager (no active runtime): executes the reference kernel immediately
+    and returns ``(ndarray, saved-or-None)``.  Lazy: builds a
+    :class:`LazyBuffer` node and returns ``(buffer, None)`` — saved
+    intermediates become available as ``buffer.saved`` after realization.
+    """
+    runtime = active_runtime()
+    if runtime is None:
+        host = [a if type(a) is np.ndarray else _value_of(a) for a in args]
+        value, saved = run_kernel(op, attrs, host)
+        if not isinstance(value, np.ndarray):
+            value = np.asarray(value)  # numpy returns scalars for 0-d results
+        return value, saved
+    if out_shape is None:
+        out_shape = infer_shape(op, attrs, [a.shape for a in args])
+    srcs = tuple(a if type(a) is LazyBuffer else LazyBuffer.const(a) for a in args)
+    return LazyBuffer(op, srcs, attrs, out_shape), None
+
+
+def _value_of(data) -> np.ndarray:
+    """The realized array behind an ``_data`` value (ndarray or buffer)."""
+    if type(data) is np.ndarray:
+        return data
+    realized = data.realized
+    return realized if realized is not None else data.realize()
+
+
+def _saved_of(data):
+    """Saved backward intermediates of a recorded op, realizing if needed."""
+    if type(data) is not np.ndarray and data.realized is None:
+        data.realize()
+    return data.saved
+
+
+def _keep(*tensors: "Tensor") -> None:
+    """Pin pending buffers whose values a backward closure will read."""
+    for tensor in tensors:
+        data = tensor._data
+        if type(data) is LazyBuffer:
+            data.keep = True
+
+
+def _make(value, requires: bool, parents: Tuple["Tensor", ...]) -> "Tensor":
+    """Fast Tensor construction around an engine result (no coercion)."""
+    out = Tensor.__new__(Tensor)
+    out._data = value
+    out.grad = None
+    out.requires_grad = requires
+    out._backward = None
+    out._parents = parents if requires else ()
+    out.name = None
+    return out
+
+
+def _resolve_shape(shape: Tuple[int, ...], size: int) -> Tuple[int, ...]:
+    """Resolve a single ``-1`` in a reshape target against ``size``."""
+    shape = tuple(int(dim) for dim in shape)
+    if -1 in shape:
+        known = 1
+        for dim in shape:
+            if dim != -1:
+                known *= dim
+        shape = tuple(size // known if dim == -1 else dim for dim in shape)
+    return shape
+
+
+class Tensor:
+    """An engine-backed array plus the bookkeeping needed for backpropagation."""
+
+    __slots__ = ("_data", "grad", "requires_grad", "_backward", "_parents", "name")
 
     def __init__(
         self,
@@ -69,7 +187,7 @@ class Tensor:
         _parents: Tuple["Tensor", ...] = (),
         name: Optional[str] = None,
     ) -> None:
-        self.data = _as_array(data)
+        self._data = data if type(data) is LazyBuffer else _as_array(data)
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad)
         self._backward: Optional[Callable[[np.ndarray], None]] = None
@@ -77,33 +195,59 @@ class Tensor:
         self.name = name
 
     # ------------------------------------------------------------------
-    # Introspection
+    # Data access (the engine's realize() point)
+    # ------------------------------------------------------------------
+    @property
+    def data(self) -> np.ndarray:
+        """The underlying array, realizing any pending lazy graph."""
+        data = self._data
+        if type(data) is np.ndarray:
+            return data
+        realized = data.realized
+        return realized if realized is not None else data.realize()
+
+    @data.setter
+    def data(self, value) -> None:
+        self._data = value if type(value) is LazyBuffer else _as_array(value)
+
+    @property
+    def lazy(self) -> bool:
+        """Whether this tensor currently holds an unrealized buffer."""
+        data = self._data
+        return type(data) is LazyBuffer and data.realized is None
+
+    # ------------------------------------------------------------------
+    # Introspection (never triggers realization)
     # ------------------------------------------------------------------
     @property
     def shape(self) -> Tuple[int, ...]:
-        return self.data.shape
+        return self._data.shape
 
     @property
     def ndim(self) -> int:
-        return self.data.ndim
+        return self._data.ndim
 
     @property
     def size(self) -> int:
-        return self.data.size
+        return self._data.size
 
     @property
     def dtype(self):
-        return self.data.dtype
+        return self._data.dtype
 
     def __len__(self) -> int:
-        return len(self.data)
+        shape = self._data.shape
+        if not shape:
+            raise TypeError("len() of unsized object")
+        return shape[0]
 
     def __repr__(self) -> str:
         grad_flag = ", requires_grad=True" if self.requires_grad else ""
-        return f"Tensor(shape={self.shape}{grad_flag})"
+        lazy_flag = ", lazy" if self.lazy else ""
+        return f"Tensor(shape={self.shape}{grad_flag}{lazy_flag})"
 
     def numpy(self) -> np.ndarray:
-        """Return the underlying array (no copy)."""
+        """Return the underlying array (no copy; realizes if lazy)."""
         return self.data
 
     def item(self) -> float:
@@ -119,6 +263,11 @@ class Tensor:
     def zero_grad(self) -> None:
         self.grad = None
 
+    def realize(self) -> "Tensor":
+        """Force any pending lazy computation; returns ``self``."""
+        _ = self.data
+        return self
+
     # ------------------------------------------------------------------
     # Graph construction helpers
     # ------------------------------------------------------------------
@@ -128,7 +277,8 @@ class Tensor:
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
-            self.grad = grad.copy() if grad.base is not None or grad.flags.writeable is False else grad
+            borrowed = grad.base is not None or grad.flags.writeable is False
+            self.grad = grad.copy() if borrowed else grad
         else:
             self.grad = self.grad + grad
 
@@ -173,31 +323,32 @@ class Tensor:
     # ------------------------------------------------------------------
     def __add__(self, other: ArrayLike) -> "Tensor":
         other = self._lift(other)
-        out = Tensor(
-            self.data + other.data,
-            requires_grad=self.requires_grad or other.requires_grad,
-            _parents=(self, other),
-        )
+        value, _ = _apply("add", (self._data, other._data))
+        requires = _GRAD_MODE.enabled and (self.requires_grad or other.requires_grad)
+        out = _make(value, requires, (self, other))
+        if requires:
 
-        def _backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(unbroadcast(grad, self.shape))
-            if other.requires_grad:
-                other._accumulate(unbroadcast(grad, other.shape))
+            def _backward(grad: np.ndarray) -> None:
+                if self.requires_grad:
+                    self._accumulate(unbroadcast(grad, self.shape))
+                if other.requires_grad:
+                    other._accumulate(unbroadcast(grad, other.shape))
 
-        out._backward = _backward
+            out._backward = _backward
         return out
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
-        out = Tensor(-self.data, requires_grad=self.requires_grad, _parents=(self,))
+        value, _ = _apply("neg", (self._data,))
+        requires = _GRAD_MODE.enabled and self.requires_grad
+        out = _make(value, requires, (self,))
+        if requires:
 
-        def _backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
+            def _backward(grad: np.ndarray) -> None:
                 self._accumulate(-grad)
 
-        out._backward = _backward
+            out._backward = _backward
         return out
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
@@ -208,40 +359,46 @@ class Tensor:
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
         other = self._lift(other)
-        out = Tensor(
-            self.data * other.data,
-            requires_grad=self.requires_grad or other.requires_grad,
-            _parents=(self, other),
-        )
-
-        def _backward(grad: np.ndarray) -> None:
+        value, _ = _apply("mul", (self._data, other._data))
+        requires = _GRAD_MODE.enabled and (self.requires_grad or other.requires_grad)
+        out = _make(value, requires, (self, other))
+        if requires:
             if self.requires_grad:
-                self._accumulate(unbroadcast(grad * other.data, self.shape))
+                _keep(other)
             if other.requires_grad:
-                other._accumulate(unbroadcast(grad * self.data, other.shape))
+                _keep(self)
 
-        out._backward = _backward
+            def _backward(grad: np.ndarray) -> None:
+                if self.requires_grad:
+                    self._accumulate(unbroadcast(grad * other.data, self.shape))
+                if other.requires_grad:
+                    other._accumulate(unbroadcast(grad * self.data, other.shape))
+
+            out._backward = _backward
         return out
 
     __rmul__ = __mul__
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
         other = self._lift(other)
-        out = Tensor(
-            self.data / other.data,
-            requires_grad=self.requires_grad or other.requires_grad,
-            _parents=(self, other),
-        )
-
-        def _backward(grad: np.ndarray) -> None:
+        value, _ = _apply("div", (self._data, other._data))
+        requires = _GRAD_MODE.enabled and (self.requires_grad or other.requires_grad)
+        out = _make(value, requires, (self, other))
+        if requires:
             if self.requires_grad:
-                self._accumulate(unbroadcast(grad / other.data, self.shape))
+                _keep(other)
             if other.requires_grad:
-                other._accumulate(
-                    unbroadcast(-grad * self.data / (other.data ** 2), other.shape)
-                )
+                _keep(self, other)
 
-        out._backward = _backward
+            def _backward(grad: np.ndarray) -> None:
+                if self.requires_grad:
+                    self._accumulate(unbroadcast(grad / other.data, self.shape))
+                if other.requires_grad:
+                    other._accumulate(
+                        unbroadcast(-grad * self.data / (other.data ** 2), other.shape)
+                    )
+
+            out._backward = _backward
         return out
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
@@ -250,130 +407,151 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
             raise TypeError("only scalar exponents are supported")
-        out = Tensor(self.data ** exponent, requires_grad=self.requires_grad, _parents=(self,))
+        value, _ = _apply("pow", (self._data,), {"exponent": exponent})
+        requires = _GRAD_MODE.enabled and self.requires_grad
+        out = _make(value, requires, (self,))
+        if requires:
+            _keep(self)
 
-        def _backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
+            def _backward(grad: np.ndarray) -> None:
                 self._accumulate(grad * exponent * self.data ** (exponent - 1))
 
-        out._backward = _backward
+            out._backward = _backward
         return out
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         other = self._lift(other)
-        out = Tensor(
-            self.data @ other.data,
-            requires_grad=self.requires_grad or other.requires_grad,
-            _parents=(self, other),
-        )
-
-        def _backward(grad: np.ndarray) -> None:
+        value, _ = _apply("matmul", (self._data, other._data))
+        requires = _GRAD_MODE.enabled and (self.requires_grad or other.requires_grad)
+        out = _make(value, requires, (self, other))
+        if requires:
             if self.requires_grad:
-                if other.data.ndim == 1:
-                    self._accumulate(np.outer(grad, other.data) if grad.ndim == 1 else grad[..., None] * other.data)
-                else:
-                    self._accumulate(unbroadcast(grad @ other.data.swapaxes(-1, -2), self.shape))
+                _keep(other)
             if other.requires_grad:
-                if self.data.ndim == 1:
-                    other._accumulate(np.outer(self.data, grad))
-                else:
-                    other._accumulate(unbroadcast(self.data.swapaxes(-1, -2) @ grad, other.shape))
+                _keep(self)
 
-        out._backward = _backward
+            def _backward(grad: np.ndarray) -> None:
+                if self.requires_grad:
+                    if other.ndim == 1:
+                        if grad.ndim == 1:
+                            self._accumulate(np.outer(grad, other.data))
+                        else:
+                            self._accumulate(grad[..., None] * other.data)
+                    else:
+                        self._accumulate(unbroadcast(grad @ other.data.swapaxes(-1, -2), self.shape))
+                if other.requires_grad:
+                    if self.ndim == 1:
+                        other._accumulate(np.outer(self.data, grad))
+                    else:
+                        other._accumulate(unbroadcast(self.data.swapaxes(-1, -2) @ grad, other.shape))
+
+            out._backward = _backward
         return out
 
     # ------------------------------------------------------------------
     # Elementwise functions
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
-        value = np.exp(self.data)
-        out = Tensor(value, requires_grad=self.requires_grad, _parents=(self,))
+        value, _ = _apply("exp", (self._data,))
+        requires = _GRAD_MODE.enabled and self.requires_grad
+        out = _make(value, requires, (self,))
+        if requires:
+            _keep(out)
 
-        def _backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * value)
+            def _backward(grad: np.ndarray) -> None:
+                self._accumulate(grad * _value_of(value))
 
-        out._backward = _backward
+            out._backward = _backward
         return out
 
     def log(self) -> "Tensor":
-        out = Tensor(np.log(self.data), requires_grad=self.requires_grad, _parents=(self,))
+        value, _ = _apply("log", (self._data,))
+        requires = _GRAD_MODE.enabled and self.requires_grad
+        out = _make(value, requires, (self,))
+        if requires:
+            _keep(self)
 
-        def _backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
+            def _backward(grad: np.ndarray) -> None:
                 self._accumulate(grad / self.data)
 
-        out._backward = _backward
+            out._backward = _backward
         return out
 
     def sqrt(self) -> "Tensor":
         return self ** 0.5
 
     def tanh(self) -> "Tensor":
-        value = np.tanh(self.data)
-        out = Tensor(value, requires_grad=self.requires_grad, _parents=(self,))
+        value, _ = _apply("tanh", (self._data,))
+        requires = _GRAD_MODE.enabled and self.requires_grad
+        out = _make(value, requires, (self,))
+        if requires:
+            _keep(out)
 
-        def _backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * (1.0 - value ** 2))
+            def _backward(grad: np.ndarray) -> None:
+                forward = _value_of(value)
+                self._accumulate(grad * (1.0 - forward ** 2))
 
-        out._backward = _backward
+            out._backward = _backward
         return out
 
     def sigmoid(self) -> "Tensor":
-        value = 1.0 / (1.0 + np.exp(-self.data))
-        out = Tensor(value, requires_grad=self.requires_grad, _parents=(self,))
+        value, _ = _apply("sigmoid", (self._data,))
+        requires = _GRAD_MODE.enabled and self.requires_grad
+        out = _make(value, requires, (self,))
+        if requires:
+            _keep(out)
 
-        def _backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * value * (1.0 - value))
+            def _backward(grad: np.ndarray) -> None:
+                forward = _value_of(value)
+                self._accumulate(grad * forward * (1.0 - forward))
 
-        out._backward = _backward
+            out._backward = _backward
         return out
 
     def relu(self) -> "Tensor":
-        mask = self.data > 0
-        out = Tensor(self.data * mask, requires_grad=self.requires_grad, _parents=(self,))
+        value, _ = _apply("relu", (self._data,))
+        requires = _GRAD_MODE.enabled and self.requires_grad
+        out = _make(value, requires, (self,))
+        if requires:
+            _keep(self)
 
-        def _backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * mask)
+            def _backward(grad: np.ndarray) -> None:
+                self._accumulate(grad * (self.data > 0))
 
-        out._backward = _backward
+            out._backward = _backward
         return out
 
     def abs(self) -> "Tensor":
-        sign = np.sign(self.data)
-        out = Tensor(np.abs(self.data), requires_grad=self.requires_grad, _parents=(self,))
+        value, _ = _apply("abs", (self._data,))
+        requires = _GRAD_MODE.enabled and self.requires_grad
+        out = _make(value, requires, (self,))
+        if requires:
+            _keep(self)
 
-        def _backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * sign)
+            def _backward(grad: np.ndarray) -> None:
+                self._accumulate(grad * np.sign(self.data))
 
-        out._backward = _backward
+            out._backward = _backward
         return out
 
     # ------------------------------------------------------------------
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out = Tensor(
-            self.data.sum(axis=axis, keepdims=keepdims),
-            requires_grad=self.requires_grad,
-            _parents=(self,),
-        )
+        value, _ = _apply("sum", (self._data,), {"axis": axis, "keepdims": keepdims})
+        requires = _GRAD_MODE.enabled and self.requires_grad
+        out = _make(value, requires, (self,))
+        if requires:
 
-        def _backward(grad: np.ndarray) -> None:
-            if not self.requires_grad:
-                return
-            g = grad
-            if axis is not None and not keepdims:
-                axes = axis if isinstance(axis, tuple) else (axis,)
-                for ax in sorted(a % self.ndim for a in axes):
-                    g = np.expand_dims(g, ax)
-            self._accumulate(np.broadcast_to(g, self.shape).copy())
+            def _backward(grad: np.ndarray) -> None:
+                g = grad
+                if axis is not None and not keepdims:
+                    axes = axis if isinstance(axis, tuple) else (axis,)
+                    for ax in sorted(a % self.ndim for a in axes):
+                        g = np.expand_dims(g, ax)
+                self._accumulate(np.broadcast_to(g, self.shape).copy())
 
-        out._backward = _backward
+            out._backward = _backward
         return out
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
@@ -390,38 +568,42 @@ class Tensor:
         return sq.mean(axis=axis, keepdims=keepdims)
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
-        value = self.data.max(axis=axis, keepdims=keepdims)
-        out = Tensor(value, requires_grad=self.requires_grad, _parents=(self,))
+        value, _ = _apply("max", (self._data,), {"axis": axis, "keepdims": keepdims})
+        requires = _GRAD_MODE.enabled and self.requires_grad
+        out = _make(value, requires, (self,))
+        if requires:
+            _keep(self)
 
-        def _backward(grad: np.ndarray) -> None:
-            if not self.requires_grad:
-                return
-            expanded = self.data.max(axis=axis, keepdims=True)
-            mask = self.data == expanded
-            counts = mask.sum(axis=axis, keepdims=True)
-            g = grad
-            if axis is not None and not keepdims:
-                axes = axis if isinstance(axis, tuple) else (axis,)
-                for ax in sorted(a % self.ndim for a in axes):
-                    g = np.expand_dims(g, ax)
-            self._accumulate(mask * g / counts)
+            def _backward(grad: np.ndarray) -> None:
+                expanded = self.data.max(axis=axis, keepdims=True)
+                mask = self.data == expanded
+                counts = mask.sum(axis=axis, keepdims=True)
+                g = grad
+                if axis is not None and not keepdims:
+                    axes = axis if isinstance(axis, tuple) else (axis,)
+                    for ax in sorted(a % self.ndim for a in axes):
+                        g = np.expand_dims(g, ax)
+                self._accumulate(mask * g / counts)
 
-        out._backward = _backward
+            out._backward = _backward
         return out
 
     # ------------------------------------------------------------------
-    # Shape manipulation
+    # Shape manipulation (movement ops: folded to views, never kernels)
     # ------------------------------------------------------------------
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        out = Tensor(self.data.reshape(shape), requires_grad=self.requires_grad, _parents=(self,))
+        resolved = _resolve_shape(shape, self.size)
+        value, _ = _apply("reshape", (self._data,), {"shape": resolved}, resolved)
+        requires = _GRAD_MODE.enabled and self.requires_grad
+        out = _make(value, requires, (self,))
+        if requires:
 
-        def _backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
+            def _backward(grad: np.ndarray) -> None:
                 self._accumulate(grad.reshape(self.shape))
 
-        out._backward = _backward
+            out._backward = _backward
         return out
 
     def flatten_batch(self) -> "Tensor":
@@ -433,81 +615,105 @@ class Tensor:
             axes = tuple(axes[0])
         if not axes:
             axes = tuple(reversed(range(self.ndim)))
-        out = Tensor(self.data.transpose(axes), requires_grad=self.requires_grad, _parents=(self,))
+        out_shape = tuple(self.shape[a] for a in axes)
+        value, _ = _apply("transpose", (self._data,), {"axes": axes}, out_shape)
+        requires = _GRAD_MODE.enabled and self.requires_grad
+        out = _make(value, requires, (self,))
         inverse = np.argsort(axes)
+        if requires:
 
-        def _backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
+            def _backward(grad: np.ndarray) -> None:
                 self._accumulate(grad.transpose(inverse))
 
-        out._backward = _backward
+            out._backward = _backward
+        return out
+
+    def expand(self, *shape) -> "Tensor":
+        """Broadcast to ``shape`` without copying (a movement op)."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        shape = tuple(int(dim) for dim in shape)
+        value, _ = _apply("expand", (self._data,), {"shape": shape}, shape)
+        requires = _GRAD_MODE.enabled and self.requires_grad
+        out = _make(value, requires, (self,))
+        if requires:
+
+            def _backward(grad: np.ndarray) -> None:
+                self._accumulate(unbroadcast(grad, self.shape))
+
+            out._backward = _backward
         return out
 
     def __getitem__(self, index) -> "Tensor":
-        out = Tensor(self.data[index], requires_grad=self.requires_grad, _parents=(self,))
+        value, _ = _apply("getitem", (self._data,), {"index": index})
+        requires = _GRAD_MODE.enabled and self.requires_grad
+        out = _make(value, requires, (self,))
+        if requires:
 
-        def _backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                full = np.zeros_like(self.data)
+            def _backward(grad: np.ndarray) -> None:
+                full = np.zeros(self.shape, dtype=DEFAULT_DTYPE)
                 np.add.at(full, index, grad)
                 self._accumulate(full)
 
-        out._backward = _backward
+            out._backward = _backward
         return out
 
     def pad2d(self, padding: int) -> "Tensor":
         """Zero-pad the last two (spatial) dimensions symmetrically."""
         if padding == 0:
             return self
-        pad_width = [(0, 0)] * (self.ndim - 2) + [(padding, padding), (padding, padding)]
-        out = Tensor(np.pad(self.data, pad_width), requires_grad=self.requires_grad, _parents=(self,))
+        value, _ = _apply("pad2d", (self._data,), {"padding": padding})
+        requires = _GRAD_MODE.enabled and self.requires_grad
+        out = _make(value, requires, (self,))
+        if requires:
 
-        def _backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
+            def _backward(grad: np.ndarray) -> None:
                 slices = [slice(None)] * (self.ndim - 2) + [
                     slice(padding, -padding),
                     slice(padding, -padding),
                 ]
                 self._accumulate(grad[tuple(slices)])
 
-        out._backward = _backward
+            out._backward = _backward
         return out
 
 
 def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient support."""
     tensors = [Tensor._lift(t) for t in tensors]
-    data = np.concatenate([t.data for t in tensors], axis=axis)
-    requires = any(t.requires_grad for t in tensors)
-    out = Tensor(data, requires_grad=requires, _parents=tuple(tensors))
+    value, _ = _apply("concat", tuple(t._data for t in tensors), {"axis": axis})
+    requires = _GRAD_MODE.enabled and any(t.requires_grad for t in tensors)
+    out = _make(value, requires, tuple(tensors))
     sizes = [t.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
+    if requires:
 
-    def _backward(grad: np.ndarray) -> None:
-        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
-            if tensor.requires_grad:
-                slicer = [slice(None)] * grad.ndim
-                slicer[axis] = slice(start, stop)
-                tensor._accumulate(grad[tuple(slicer)])
+        def _backward(grad: np.ndarray) -> None:
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                if tensor.requires_grad:
+                    slicer = [slice(None)] * grad.ndim
+                    slicer[axis] = slice(start, stop)
+                    tensor._accumulate(grad[tuple(slicer)])
 
-    out._backward = _backward
+        out._backward = _backward
     return out
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new axis with gradient support."""
     tensors = [Tensor._lift(t) for t in tensors]
-    data = np.stack([t.data for t in tensors], axis=axis)
-    requires = any(t.requires_grad for t in tensors)
-    out = Tensor(data, requires_grad=requires, _parents=tuple(tensors))
+    value, _ = _apply("stack", tuple(t._data for t in tensors), {"axis": axis})
+    requires = _GRAD_MODE.enabled and any(t.requires_grad for t in tensors)
+    out = _make(value, requires, tuple(tensors))
+    if requires:
 
-    def _backward(grad: np.ndarray) -> None:
-        moved = np.moveaxis(grad, axis, 0)
-        for tensor, g in zip(tensors, moved):
-            if tensor.requires_grad:
-                tensor._accumulate(g)
+        def _backward(grad: np.ndarray) -> None:
+            moved = np.moveaxis(grad, axis, 0)
+            for tensor, g in zip(tensors, moved):
+                if tensor.requires_grad:
+                    tensor._accumulate(g)
 
-    out._backward = _backward
+        out._backward = _backward
     return out
 
 

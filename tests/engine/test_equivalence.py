@@ -1,0 +1,75 @@
+"""Bit-identical federations: lazy engine vs the eager reference.
+
+The engine's core contract (ISSUE 6): switching ``compute:`` must not
+change a single bit of any run artifact.  These smokes run the same
+small federation under both engines and compare full Histories with
+``==`` — no tolerances.
+"""
+
+import pytest
+
+from repro.engine import ComputeConfig
+from repro.federated import Federation, FederationConfig, LocalTrainConfig
+
+LAZY = ComputeConfig(engine="lazy")
+
+
+def small_config(algorithm, **overrides):
+    defaults = dict(
+        dataset="mnist",
+        algorithm=algorithm,
+        num_clients=6,
+        rounds=2,
+        sample_fraction=0.5,
+        n_train=240,
+        n_test=120,
+        seed=0,
+        eval_every=1,
+        local=LocalTrainConfig(epochs=1, batch_size=10),
+    )
+    defaults.update(overrides)
+    return FederationConfig(**defaults)
+
+
+def run_history(config):
+    return Federation.from_config(config).run()
+
+
+def assert_histories_identical(reference, other, context=""):
+    assert len(reference.rounds) == len(other.rounds), context
+    for a, b in zip(reference.rounds, other.rounds):
+        assert a.sampled_clients == b.sampled_clients, context
+        assert a.train_loss == b.train_loss, (context, a.round_index)
+        assert a.mean_accuracy == b.mean_accuracy, (context, a.round_index)
+        assert a.sampled_accuracy == b.sampled_accuracy, (context, a.round_index)
+        assert a.mean_sparsity == b.mean_sparsity, (context, a.round_index)
+        assert a.mean_channel_sparsity == b.mean_channel_sparsity, context
+        assert a.uploaded_bytes == b.uploaded_bytes, context
+        assert a.downloaded_bytes == b.downloaded_bytes, context
+    assert reference.final_accuracy == other.final_accuracy, context
+    assert reference.final_per_client_accuracy == other.final_per_client_accuracy
+
+
+@pytest.mark.parametrize("algorithm", ["fedavg", "sub-fedavg-un"])
+def test_lazy_history_bit_identical_to_eager(algorithm):
+    eager = run_history(small_config(algorithm))
+    lazy = run_history(small_config(algorithm, compute=LAZY))
+    assert_histories_identical(eager, lazy, context=algorithm)
+
+
+def test_fusion_off_bit_identical_to_fusion_on():
+    fused = run_history(small_config("fedavg", compute=LAZY))
+    unfused = run_history(
+        small_config("fedavg", compute=ComputeConfig(engine="lazy", fusion=False))
+    )
+    assert_histories_identical(fused, unfused, context="fusion flag")
+
+
+def test_lazy_thread_backend_matches_eager_serial():
+    """Grad-recording mode is thread-local: a thread backend evaluating
+    under no_grad while another thread trains must not interfere."""
+    eager = run_history(small_config("sub-fedavg-un"))
+    lazy = run_history(
+        small_config("sub-fedavg-un", compute=LAZY, backend="thread", workers=2)
+    )
+    assert_histories_identical(eager, lazy, context="thread backend")

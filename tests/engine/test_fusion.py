@@ -1,0 +1,135 @@
+"""Scheduler behaviour: kernel counts, elementwise fusion, movement folding.
+
+``STATS`` is the engine's observable: ``ops_recorded`` counts graph nodes,
+``kernels`` counts scheduler dispatches, ``ops_fused`` counts nodes that
+were collapsed into a preceding kernel, ``movements_folded`` counts
+reshape/transpose/expand nodes realized as numpy views (zero kernels).
+"""
+
+import numpy as np
+
+from repro.engine import STATS, ComputeConfig, compute_scope
+from repro.tensor import Tensor, no_grad
+
+LAZY = ComputeConfig(engine="lazy")
+UNFUSED = ComputeConfig(engine="lazy", fusion=False)
+
+
+def _chain(a, b):
+    """Five elementwise ops: mul, relu, mul(const), exp, tanh."""
+    return ((a * b).relu() * 2.0).exp().tanh()
+
+
+class TestElementwiseFusion:
+    def test_inference_chain_collapses_to_one_kernel(self):
+        rng = np.random.default_rng(0)
+        a, b = Tensor(rng.normal(size=(8, 8))), Tensor(rng.normal(size=(8, 8)))
+        with compute_scope(LAZY), no_grad():
+            STATS.reset()
+            out = _chain(a, b)
+            result = out.data
+        assert STATS.ops_recorded == 5
+        assert STATS.kernels == 1
+        assert STATS.ops_fused == 4
+        expected = np.tanh(np.exp((a.data * b.data) * (a.data * b.data > 0) * 2.0))
+        assert np.array_equal(result, expected)
+
+    def test_fusion_flag_disables_grouping(self):
+        rng = np.random.default_rng(0)
+        a, b = Tensor(rng.normal(size=(8, 8))), Tensor(rng.normal(size=(8, 8)))
+        with compute_scope(UNFUSED), no_grad():
+            STATS.reset()
+            _ = _chain(a, b).data
+        assert STATS.ops_recorded == 5
+        assert STATS.kernels == 5
+        assert STATS.ops_fused == 0
+
+    def test_reduce_terminates_a_group(self):
+        """sum is never fused into an elementwise group: the chain before it
+        becomes one kernel, the reduction a second."""
+        rng = np.random.default_rng(1)
+        a = Tensor(rng.normal(size=(8, 8)))
+        with compute_scope(LAZY), no_grad():
+            STATS.reset()
+            _ = (a * 2.0 + 1.0).sum().data
+        assert STATS.ops_recorded == 3
+        assert STATS.kernels == 2
+        assert STATS.ops_fused == 1
+
+
+class TestKeepMarking:
+    def test_backward_needs_block_fusion_across_them(self):
+        """exp keeps its output for backward, so the consumer cannot fuse
+        past it — and the kept value feeds the gradient bit-exactly."""
+        rng = np.random.default_rng(2)
+        data = rng.normal(size=(4, 4))
+        with compute_scope(LAZY):
+            a = Tensor(data, requires_grad=True)
+            STATS.reset()
+            out = (a.exp() * 2.0).sum()
+            out.backward()
+        assert STATS.ops_recorded == 3
+        assert STATS.kernels == 3  # exp | mul | sum — keep boundary + reduce
+        np.testing.assert_array_equal(a.grad, np.exp(data) * 2.0)
+
+    def test_no_grad_removes_keeps_and_restores_fusion(self):
+        rng = np.random.default_rng(2)
+        data = rng.normal(size=(4, 4))
+        with compute_scope(LAZY), no_grad():
+            a = Tensor(data, requires_grad=True)
+            STATS.reset()
+            _ = (a.exp() * 2.0).sum().data
+        assert STATS.kernels == 2  # exp+mul fuse | sum
+
+
+class TestMovementFolding:
+    def test_movement_ops_become_views_not_kernels(self):
+        rng = np.random.default_rng(3)
+        x = Tensor(rng.normal(size=(2, 6)))
+        with compute_scope(LAZY), no_grad():
+            STATS.reset()
+            out = (x.reshape(3, 4).transpose(1, 0) * x.reshape(4, 3)).sum()
+            result = out.data
+        assert STATS.ops_recorded == 5  # reshape, transpose, reshape, mul, sum
+        assert STATS.movements_folded == 3
+        assert STATS.kernels == 2  # mul | sum
+        expected = (x.data.reshape(3, 4).T * x.data.reshape(4, 3)).sum()
+        assert np.array_equal(result, np.asarray(expected))
+
+    def test_realized_movement_output_is_a_base_view(self):
+        """A folded reshape shares memory with its realized base."""
+        with compute_scope(LAZY), no_grad():
+            x = Tensor(np.arange(12.0))
+            y = x.reshape(3, 4)
+            assert np.shares_memory(y.data, x.data)
+
+
+class TestRealizationPoints:
+    def test_data_access_realizes_once(self):
+        with compute_scope(LAZY), no_grad():
+            a = Tensor(np.ones((2, 2)))
+            b = a + 1.0
+            assert b.lazy
+            np.testing.assert_array_equal(b.data, np.full((2, 2), 2.0))
+            assert not b.lazy
+            STATS.reset()
+            _ = b.data  # second access: cached, no new kernels
+            assert STATS.kernels == 0
+
+    def test_shape_introspection_does_not_realize(self):
+        with compute_scope(LAZY), no_grad():
+            a = Tensor(np.ones((3, 5)))
+            b = (a * 2.0).reshape(5, 3).transpose(1, 0)
+            assert b.shape == (3, 5)
+            assert b.ndim == 2
+            assert b.size == 15
+            assert len(b) == 3
+            assert b.lazy  # still unrealized after all of the above
+
+    def test_item_and_backward_realize(self):
+        with compute_scope(LAZY):
+            a = Tensor(np.full((2, 2), 3.0), requires_grad=True)
+            loss = (a * a).sum()
+            assert loss.item() == 36.0
+            loss.backward()
+            np.testing.assert_array_equal(a.grad, np.full((2, 2), 6.0))

@@ -1,0 +1,213 @@
+"""Every autograd op, exercised through the lazy engine.
+
+Each case builds the same graph twice from identically-seeded leaves —
+once eagerly (the historical reference), once under a lazy compute
+scope — and requires *bit-identical* forward values and gradients.  The
+cases then run the finite-difference check while the lazy engine is
+active, so the numerical probes themselves flow through record/realize.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.engine import ComputeConfig, compute_scope
+from repro.optim import SGD
+from repro.tensor import (
+    Tensor,
+    check_gradients,
+    concat,
+    conv2d,
+    cross_entropy,
+    dropout,
+    log_softmax,
+    max_pool2d,
+    nll_loss,
+    stack,
+)
+
+LAZY = ComputeConfig(engine="lazy")
+
+
+def _away_from_zero(data, margin=0.15):
+    """Shift entries near 0 outward so relu/abs kinks can't be crossed
+    by the finite-difference probe."""
+    data = np.asarray(data)
+    shift = np.where(np.abs(data) < margin, np.where(data >= 0, margin, -margin), 0.0)
+    return data + shift
+
+
+def case_arithmetic(rng):
+    a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+    b = Tensor(rng.random((3, 4)) + 0.5, requires_grad=True)
+    return lambda: (a * b + a / b - b + 2.0 * a).sum(), [a, b]
+
+
+def case_pow(rng):
+    a = Tensor(rng.random((3, 4)) + 0.5, requires_grad=True)
+    return lambda: ((a**3).sum() + (a**0.5).sum()), [a]
+
+
+def case_transcendental(rng):
+    a = Tensor(rng.normal(size=(3, 4)) * 0.5, requires_grad=True)
+    b = Tensor(rng.random((3, 4)) + 0.5, requires_grad=True)
+    return lambda: (a.exp().tanh() + a.sigmoid() * b.log()).sum(), [a, b]
+
+
+def case_piecewise(rng):
+    a = Tensor(_away_from_zero(rng.normal(size=(3, 4))), requires_grad=True)
+    return lambda: (a.relu() * 2.0 + a.abs()).sum(), [a]
+
+
+def case_reductions(rng):
+    x = Tensor(rng.normal(size=(3, 4, 2)), requires_grad=True)
+    return (
+        lambda: x.sum(axis=1, keepdims=True).sum() + x.mean(axis=0).sum() + x.var() * 0.5,
+        [x],
+    )
+
+
+def case_max(rng):
+    x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+    return lambda: x.max(axis=1).sum() + x.max() * 0.5, [x]
+
+
+def case_matmul(rng):
+    a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+    b = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+    return lambda: (a @ b).sum(), [a, b]
+
+
+def case_movement(rng):
+    x = Tensor(rng.normal(size=(2, 6)), requires_grad=True)
+    c = Tensor(rng.normal(size=(1, 4)), requires_grad=True)
+    return (
+        lambda: (x.reshape(3, 4).transpose(1, 0) * x.reshape(4, 3)).sum()
+        + (c.expand(3, 4) * x.reshape(3, 4)).sum(),
+        [x, c],
+    )
+
+
+def case_slicing_and_padding(rng):
+    x = Tensor(rng.normal(size=(2, 3, 4, 4)), requires_grad=True)
+    return lambda: x[1:, :2].sum() + x.pad2d(1).sum() * 0.5, [x]
+
+
+def case_concat_stack(rng):
+    a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+    b = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+    return (
+        lambda: (concat([a, b], axis=1) * 0.5).sum() + stack([a, b], axis=0).sum(),
+        [a, b],
+    )
+
+
+def case_conv_pool(rng):
+    x = Tensor(rng.normal(size=(2, 2, 6, 6)), requires_grad=True)
+    w = Tensor(rng.normal(size=(3, 2, 3, 3)) * 0.5, requires_grad=True)
+    bias = Tensor(rng.normal(size=3), requires_grad=True)
+    return (
+        lambda: max_pool2d(conv2d(x, w, bias, stride=1, padding=1), kernel=2).sum(),
+        [x, w, bias],
+    )
+
+
+def case_losses(rng):
+    logits = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+    targets = np.array([0, 2, 4, 1])
+    return (
+        lambda: cross_entropy(logits, targets)
+        + nll_loss(log_softmax(logits), targets) * 0.5,
+        [logits],
+    )
+
+
+CASES = [
+    ("arithmetic", case_arithmetic),
+    ("pow", case_pow),
+    ("transcendental", case_transcendental),
+    ("piecewise", case_piecewise),
+    ("reductions", case_reductions),
+    ("max", case_max),
+    ("matmul", case_matmul),
+    ("movement", case_movement),
+    ("slicing_and_padding", case_slicing_and_padding),
+    ("concat_stack", case_concat_stack),
+    ("conv_pool", case_conv_pool),
+    ("losses", case_losses),
+]
+
+
+def _evaluate(make):
+    func, leaves = make(np.random.default_rng(0))
+    out = func()
+    out.backward()
+    value = np.array(out.data, copy=True)
+    grads = [np.array(leaf.grad, copy=True) for leaf in leaves]
+    return value, grads
+
+
+@pytest.mark.parametrize("make", [c[1] for c in CASES], ids=[c[0] for c in CASES])
+class TestLazyOps:
+    def test_forward_and_grads_bit_identical_to_eager(self, make):
+        eager_value, eager_grads = _evaluate(make)
+        with compute_scope(LAZY):
+            lazy_value, lazy_grads = _evaluate(make)
+        assert np.array_equal(eager_value, lazy_value)
+        for eager_grad, lazy_grad in zip(eager_grads, lazy_grads):
+            assert np.array_equal(eager_grad, lazy_grad)
+
+    def test_gradcheck_through_lazy_engine(self, make):
+        with compute_scope(LAZY):
+            func, leaves = make(np.random.default_rng(0))
+            check_gradients(func, leaves, atol=1e-5, max_checks=32)
+
+
+def _train_step(config):
+    """Init a small CNN, run one forward/backward/SGD step, return weights."""
+    with compute_scope(config):
+        rng = np.random.default_rng(3)
+        model = nn.Sequential(
+            nn.Conv2d(1, 4, kernel_size=3, padding=1, rng=rng),
+            nn.BatchNorm2d(4),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Flatten(),
+            nn.Linear(4 * 4 * 4, 3, rng=rng),
+        )
+        images = np.random.default_rng(4).normal(size=(5, 1, 8, 8))
+        labels = np.array([0, 1, 2, 0, 1])
+        optimizer = SGD(list(model.named_parameters()), lr=0.1, momentum=0.5)
+        loss = nn.CrossEntropyLoss()(model(Tensor(images)), labels)
+        loss.backward()
+        optimizer.step()
+        return float(loss.item()), {k: np.array(v) for k, v in model.state_dict().items()}
+
+
+class TestWholeLayerStack:
+    def test_cnn_training_step_bit_identical(self):
+        """conv → BN(train) → relu → pool → linear → CE, one SGD step."""
+        eager_loss, eager_state = _train_step(None)
+        lazy_loss, lazy_state = _train_step(LAZY)
+        assert eager_loss == lazy_loss
+        assert eager_state.keys() == lazy_state.keys()
+        for name in eager_state:
+            assert np.array_equal(eager_state[name], lazy_state[name]), name
+
+    def test_dropout_consumes_identical_rng_stream(self):
+        """The dropout mask is drawn eagerly, so the client RNG stream —
+        and therefore data order downstream — is engine-independent."""
+
+        def run(config):
+            with compute_scope(config):
+                rng = np.random.default_rng(7)
+                x = Tensor(np.random.default_rng(8).normal(size=(4, 6)), requires_grad=True)
+                out = dropout(x, rate=0.5, rng=rng, training=True)
+                out.sum().backward()
+                return np.array(out.data), np.array(x.grad), rng.random()
+
+        eager_out, eager_grad, eager_next = run(None)
+        lazy_out, lazy_grad, lazy_next = run(LAZY)
+        assert np.array_equal(eager_out, lazy_out)
+        assert np.array_equal(eager_grad, lazy_grad)
+        assert eager_next == lazy_next

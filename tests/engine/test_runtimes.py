@@ -1,0 +1,210 @@
+"""Runtime registry, ComputeConfig validation, hash compat and CLI plumbing."""
+
+import importlib.util
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.engine import (
+    OPS,
+    STATS,
+    ComputeConfig,
+    NumpyRuntime,
+    Runtime,
+    available_runtimes,
+    compute_scope,
+    get_runtime,
+    get_runtime_spec,
+    register_runtime,
+    runtime_specs,
+    unregister_runtime,
+)
+from repro.federated import FederationConfig
+
+
+class TestRegistry:
+    def test_numpy_reference_runtime_registered(self):
+        assert "numpy" in available_runtimes()
+        spec = get_runtime_spec("numpy")
+        assert spec.cls is NumpyRuntime
+        assert spec.summary
+        assert isinstance(get_runtime("numpy"), NumpyRuntime)
+
+    def test_instances_are_cached(self):
+        assert get_runtime("numpy") is get_runtime("numpy")
+
+    def test_unknown_runtime_lists_choices(self):
+        with pytest.raises(KeyError, match="numpy"):
+            get_runtime_spec("tpu-v9")
+
+    def test_register_summary_falls_back_to_docstring(self):
+        @register_runtime("doc-summary")
+        class DocRuntime(NumpyRuntime):
+            """First line becomes the registry summary."""
+
+        try:
+            assert (
+                get_runtime_spec("doc-summary").summary
+                == "First line becomes the registry summary."
+            )
+            assert DocRuntime.name == "doc-summary"
+            assert "doc-summary" in [spec.name for spec in runtime_specs()]
+        finally:
+            unregister_runtime("doc-summary")
+        assert "doc-summary" not in available_runtimes()
+
+    def test_numpy_cannot_be_unregistered(self):
+        with pytest.raises(ValueError):
+            unregister_runtime("numpy")
+        with pytest.raises(KeyError):
+            unregister_runtime("never-registered")
+
+    def test_torch_registration_tracks_importability(self):
+        expected = importlib.util.find_spec("torch") is not None
+        assert ("torch" in available_runtimes()) == expected
+
+
+class Boxed:
+    """Stand-in device array: an ndarray hidden behind an opaque wrapper."""
+
+    def __init__(self, array):
+        self.array = array
+
+
+class TestCustomRuntime:
+    """A partial third-party backend still yields bit-identical results:
+    unsupported ops and saved-intermediate ops fall back to the
+    reference kernels with transparent host/device transfers."""
+
+    @pytest.fixture()
+    def boxed_runtime(self):
+        @register_runtime("boxed", summary="test double with a fake device type")
+        class BoxedRuntime(Runtime):
+            def supports(self, op):
+                return op in ("add", "mul", "relu", "sum", "matmul")
+
+            def to_device(self, array):
+                return Boxed(array)
+
+            def to_host(self, value):
+                return value.array if isinstance(value, Boxed) else value
+
+            def execute(self, op, attrs, args):
+                host = [a.array for a in args]
+                return Boxed(OPS[op].kernel(attrs or {}, *host))
+
+        yield BoxedRuntime
+        unregister_runtime("boxed")
+
+    def test_partial_backend_is_bit_identical_with_fallbacks(self, boxed_runtime):
+        def compute():
+            rng = np.random.default_rng(0)
+            from repro.tensor import Tensor
+
+            a = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+            b = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+            out = ((a @ b).relu().exp() + 1.0).sum()  # exp unsupported -> fallback
+            out.backward()
+            return float(out.item()), np.array(a.grad), np.array(b.grad)
+
+        eager = compute()
+        with compute_scope(ComputeConfig(engine="lazy", runtime="boxed")):
+            STATS.reset()
+            boxed = compute()
+        assert eager[0] == boxed[0]
+        assert np.array_equal(eager[1], boxed[1])
+        assert np.array_equal(eager[2], boxed[2])
+        assert STATS.fallbacks > 0  # exp ran on the reference kernels
+
+
+class TestComputeConfig:
+    def test_defaults(self):
+        config = ComputeConfig()
+        assert config.engine == "eager"
+        assert config.runtime == "numpy"
+        assert config.fusion is True
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            ComputeConfig(engine="jit")
+
+    def test_unknown_runtime_rejected_at_declaration(self):
+        with pytest.raises(KeyError):
+            ComputeConfig(engine="lazy", runtime="cuda-graphs")
+
+
+def hash_config(**overrides):
+    return FederationConfig(
+        dataset="mnist", algorithm="fedavg", num_clients=4, rounds=1, seed=0,
+        **overrides,
+    )
+
+
+class TestHashCompatibility:
+    """``compute:`` joins the canonical hash payload only when non-default,
+    so every result store keyed before ISSUE 6 still resolves."""
+
+    def test_default_compute_leaves_stable_hash_unchanged(self):
+        assert hash_config().stable_hash() == "70451bccff9b90c5"
+        assert (
+            hash_config(compute=ComputeConfig()).stable_hash()
+            == hash_config().stable_hash()
+        )
+
+    def test_non_default_compute_changes_stable_hash(self):
+        lazy = hash_config(compute=ComputeConfig(engine="lazy"))
+        assert lazy.stable_hash() == "dd43dd215f687f1f"
+        unfused = hash_config(compute=ComputeConfig(engine="lazy", fusion=False))
+        assert unfused.stable_hash() == "1f307a5cef1c6576"
+        assert len({lazy.stable_hash(), unfused.stable_hash(),
+                    hash_config().stable_hash()}) == 3
+
+    def test_compute_round_trips_through_json(self):
+        config = hash_config(compute=ComputeConfig(engine="lazy", fusion=False))
+        restored = FederationConfig.from_json(config.to_json())
+        assert restored == config
+        assert restored.compute.fusion is False
+        assert restored.stable_hash() == config.stable_hash()
+
+
+class TestCLI:
+    def test_list_shows_runtime_registry(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "runtimes:" in out
+        assert "numpy" in out
+
+    def test_runtime_flag_selects_lazy_engine(self, tmp_path):
+        config_path = tmp_path / "run.json"
+        assert main(
+            ["run", "--dataset", "mnist", "--algorithm", "fedavg",
+             "--runtime", "numpy", "--export-config", str(config_path)]
+        ) == 0
+        restored = FederationConfig.from_json(config_path.read_text())
+        assert restored.compute == ComputeConfig(engine="lazy", runtime="numpy")
+
+    def test_runtime_eager_keeps_default_engine(self, tmp_path):
+        config_path = tmp_path / "run.json"
+        assert main(
+            ["run", "--dataset", "mnist", "--algorithm", "fedavg",
+             "--runtime", "eager", "--export-config", str(config_path)]
+        ) == 0
+        restored = FederationConfig.from_json(config_path.read_text())
+        assert restored.compute == ComputeConfig()
+
+    def test_set_override_reaches_compute_section(self, tmp_path):
+        config_path = tmp_path / "run.json"
+        assert main(
+            ["run", "--dataset", "mnist", "--algorithm", "fedavg",
+             "--runtime", "numpy", "--set", "compute.fusion=false",
+             "--export-config", str(config_path)]
+        ) == 0
+        restored = FederationConfig.from_json(config_path.read_text())
+        assert restored.compute.engine == "lazy"
+        assert restored.compute.fusion is False
+
+    def test_bad_runtime_choice_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--dataset", "mnist", "--algorithm", "fedavg",
+                  "--runtime", "tpu-v9", "--export-config", "/dev/null"])

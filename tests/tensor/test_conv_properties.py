@@ -75,6 +75,9 @@ class TestWholeModelGradients:
             return cross_entropy(model(Tensor(x)), targets)
 
         check_gradients(loss, checked, atol=1e-5)
+        # The conv kernel itself via seeded entry sampling — a full sweep
+        # would be hundreds of forward pairs.
+        check_gradients(loss, [named["conv1.weight"]], atol=1e-5, max_checks=8)
 
     def test_gradients_reach_every_parameter(self, rng):
         model = CNN5(num_classes=4, rng=rng)
