@@ -67,6 +67,13 @@ from .builder import (
 )
 from .federation import Federation
 from .client import FederatedClient, LocalTrainConfig, LocalTrainResult
+from .pool import (
+    STATE_STORES,
+    ClientPool,
+    FileStateStore,
+    MemoryStateStore,
+    make_state_store,
+)
 from .metrics import History, RoundRecord
 from .sampler import (
     AvailabilitySampler,
@@ -179,6 +186,11 @@ __all__ = [
     "FederatedClient",
     "LocalTrainConfig",
     "LocalTrainResult",
+    "ClientPool",
+    "MemoryStateStore",
+    "FileStateStore",
+    "STATE_STORES",
+    "make_state_store",
     "ClientSampler",
     "FixedSampler",
     "AvailabilitySampler",

@@ -55,6 +55,7 @@ from ..systems import FleetSimulator, SystemsConfig, build_round_policy
 from .accounting.flops import dense_conv_flops
 from .client import FederatedClient, LocalTrainConfig
 from .execution import BACKENDS
+from .pool import STATE_STORES, ClientPool, make_state_store
 from .scenario import ScenarioConfig, build_sampler, get_sampler
 from . import trainers as _trainers  # noqa: F401  (populates the registry)
 from .registry import available_algorithms, get_trainer
@@ -84,6 +85,21 @@ _PR4_SCENARIO_FIELDS = (
     "participation_probs",
     "profiles",
     "profile_participation",
+)
+
+#: ``systems`` fields the PR-5 schema carried.  Newer fields (the pricing
+#: mode) join the canonical hash payload only when they leave their
+#: defaults, so every PR-5-expressible systems section keeps its
+#: historical ``stable_hash``.
+_PR5_SYSTEMS_FIELDS = (
+    "round_policy",
+    "deadline_seconds",
+    "buffer_size",
+    "staleness_exponent",
+    "server_overhead_seconds",
+    "flops_per_example",
+    "examples_per_round",
+    "jitter",
 )
 
 #: Pre-scenario flat field names: the exact ``data`` fields the PR-3 flat
@@ -139,6 +155,8 @@ class FederationConfig:
     eval_every: int = 0
     backend: str = "serial"  # client-execution backend: serial/thread/process
     workers: int = 0  # worker count for parallel backends (0 = cpu count)
+    client_cache: int = 64  # max live FederatedClient replicas (0 = unbounded)
+    state_store: str = "memory"  # evicted-client state: "memory" | "file"
     data: DataConfig = field(default_factory=DataConfig)
     scenario: ScenarioConfig = field(default_factory=ScenarioConfig)
     systems: SystemsConfig | None = None  # fleet simulation (None = disabled)
@@ -163,6 +181,15 @@ class FederationConfig:
             )
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.client_cache < 0:
+            raise ValueError(
+                f"client_cache must be >= 0, got {self.client_cache}"
+            )
+        if self.state_store not in STATE_STORES:
+            raise ValueError(
+                f"unknown state store {self.state_store!r}; "
+                f"choose from {STATE_STORES}"
+            )
         get_trainer(self.algorithm)  # raises KeyError for unknown algorithms
 
     # ------------------------------------------------------------------
@@ -231,6 +258,12 @@ class FederationConfig:
             "unstructured": None if self.unstructured is None else asdict(self.unstructured),
             "structured": None if self.structured is None else asdict(self.structured),
         }
+        # The virtual-client pool changes resource usage, never results:
+        # its knobs join the hash only when they leave their defaults, so
+        # every pre-pool config keeps its stable_hash.
+        for name, default in (("client_cache", 64), ("state_store", "memory")):
+            if getattr(self, name) != default:
+                payload[name] = getattr(self, name)
         defaults = DataConfig()
         data_extra = {
             name: getattr(self.data, name)
@@ -252,7 +285,18 @@ class FederationConfig:
                 or getattr(self.scenario, name) != getattr(scenario_defaults, name)
             }
         if self.systems is not None:
-            payload["systems"] = asdict(self.systems)
+            # Same only-when-non-default rule as the scenario section:
+            # post-PR-5 systems fields (the pricing mode) join the payload
+            # only when set, so PR-5-expressible systems sections keep
+            # their historical hash.
+            systems_defaults = SystemsConfig()
+            payload["systems"] = {
+                name: getattr(self.systems, name)
+                for name in SystemsConfig.__dataclass_fields__
+                if name in _PR5_SYSTEMS_FIELDS
+                or getattr(self.systems, name)
+                != getattr(systems_defaults, name)
+            }
         if self.compute != ComputeConfig():
             # The compute engine choice joins the hash only when it leaves
             # the historical eager default, so every pre-compute-section
@@ -320,11 +364,15 @@ def _install_legacy_aliases() -> None:
 _install_legacy_aliases()
 
 
-def make_clients(config: FederationConfig) -> List[FederatedClient]:
-    """Build the client population for ``config`` (data + model replicas).
+def make_clients(config: FederationConfig) -> ClientPool:
+    """Build the client population for ``config`` as a lazy pool.
 
     The dataset loader and partition strategy both resolve through the
-    :mod:`~repro.data.registry` registries.
+    :mod:`~repro.data.registry` registries.  The returned
+    :class:`~repro.federated.pool.ClientPool` is a drop-in
+    ``Sequence[FederatedClient]``: a client materializes (identically to
+    the historical eager construction) the first time it is indexed, and
+    ``config.client_cache`` bounds how many stay live at once.
     """
     train_set, test_set = load_dataset(
         config.dataset, config.data.n_train, config.data.n_test, seed=config.seed
@@ -340,11 +388,14 @@ def make_clients(config: FederationConfig) -> List[FederatedClient]:
     for name, default in get_trainer(config.algorithm).local_defaults.items():
         if getattr(local, name) <= 0:
             local = replace(local, **{name: default})
-    model_fn = model_factory(config)
-    return [
-        FederatedClient(bundle, model_fn, local, seed=config.seed)
-        for bundle in bundles
-    ]
+    return ClientPool(
+        bundles,
+        model_factory(config),
+        local,
+        seed=config.seed,
+        capacity=config.client_cache,
+        store=make_state_store(config.state_store),
+    )
 
 
 def model_factory(config: FederationConfig) -> Callable[[], ConvNet]:
@@ -390,6 +441,7 @@ def build_fleet_simulator(
         server_overhead_seconds=systems.server_overhead_seconds,
         jitter=systems.jitter,
         seed=config.seed,
+        pricing=systems.pricing,
     )
 
 

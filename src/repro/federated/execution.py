@@ -203,6 +203,13 @@ class ExecutionBackend:
 
     name = "abstract"
 
+    #: Does ``run`` mutate clients from several threads of *this* process
+    #: at once?  A :class:`~repro.federated.pool.ClientPool` must pin such
+    #: a batch live for the duration — an evicted-then-rebuilt twin must
+    #: never race a running task.  Serial execution and the process
+    #: backend's parent side touch clients strictly sequentially.
+    concurrent_in_process = False
+
     def run(
         self, tasks: Sequence[ClientTask], clients: Sequence, global_state: State
     ) -> List[ClientUpdate]:
@@ -231,6 +238,7 @@ class ThreadBackend(ExecutionBackend):
     """Thread-pool execution; clients are mutated in place as in serial."""
 
     name = "thread"
+    concurrent_in_process = True
 
     def __init__(self, workers: int = 0) -> None:
         self.workers = _default_workers(workers)

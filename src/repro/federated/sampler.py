@@ -161,14 +161,18 @@ class AvailabilitySampler(ClientSampler):
             if (probs <= 0).any() or (probs > 1).any():
                 raise ValueError("participation_probs must be in (0, 1]")
         elif fleet is not None:
+            # One probability per profile *slot*, gathered per client by the
+            # fleet's vectorized assignment — value-identical to looking up
+            # profile_for(i).name per client, without the O(n) Python loop.
             lookup = dict(profile_participation or {})
-            probs = np.array(
+            slot_probs = np.array(
                 [
-                    lookup.get(fleet.profile_for(i).name, participation)
-                    for i in range(num_clients)
+                    lookup.get(profile.name, participation)
+                    for profile in fleet.profile_table()
                 ],
                 dtype=float,
             )
+            probs = slot_probs[fleet.profile_indices(np.arange(num_clients))]
         else:
             low = participation - participation_spread
             high = participation + participation_spread

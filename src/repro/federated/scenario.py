@@ -66,8 +66,10 @@ class ScenarioConfig:
     ``fleet`` selects the client→device assignment shape from the
     :func:`~repro.systems.fleet.register_fleet` registry: ``tiers`` (the
     default — ``profiles`` assigned round-robin, the historical rule),
-    ``uniform``, or ``profile-list`` (explicit per-client
-    ``client_profiles``).
+    ``uniform``, ``profile-list`` (explicit per-client
+    ``client_profiles``), or ``hierarchical`` (two-tier: clients upload
+    through ``regions`` edge cells sharing
+    ``region_uplink_bytes_per_second`` of backhaul each).
     """
 
     sampler: str = "uniform"
@@ -83,6 +85,8 @@ class ScenarioConfig:
     diurnal_amplitude: float = 0.8
     diurnal_period_seconds: float = 86400.0
     diurnal_round_seconds: float = 600.0
+    regions: int = 0  # hierarchical fleet: number of edge cells (0 = unset)
+    region_uplink_bytes_per_second: float = 0.0  # shared backhaul per cell
 
     def __post_init__(self) -> None:
         # JSON deserialization hands us lists; normalize to the hashable form.
@@ -125,6 +129,13 @@ class ScenarioConfig:
         if self.diurnal_period_seconds <= 0 or self.diurnal_round_seconds <= 0:
             raise ValueError(
                 "diurnal_period_seconds and diurnal_round_seconds must be positive"
+            )
+        if self.regions < 0:
+            raise ValueError(f"regions must be >= 0, got {self.regions}")
+        if self.region_uplink_bytes_per_second < 0:
+            raise ValueError(
+                "region_uplink_bytes_per_second must be >= 0, got "
+                f"{self.region_uplink_bytes_per_second}"
             )
         get_fleet(self.fleet)  # raises KeyError for unknown fleet shapes
 

@@ -110,7 +110,14 @@ class FederatedTrainer:
         tasks = list(tasks)
         if not tasks:
             return []
-        return self.backend.run(tasks, self.clients, self.global_state)
+        pinned = getattr(self.clients, "pinned", None)
+        if pinned is None or not getattr(self.backend, "concurrent_in_process", False):
+            return self.backend.run(tasks, self.clients, self.global_state)
+        # A ClientPool must not evict (and later rebuild) a client that a
+        # concurrent backend is still mutating — pin this batch until every
+        # task has finished.
+        with pinned(task.client_index for task in tasks):
+            return self.backend.run(tasks, self.clients, self.global_state)
 
     # ------------------------------------------------------------------
     # Fleet-simulation plan (no-ops without an attached simulator)

@@ -34,9 +34,11 @@ class FedAvg(FederatedTrainer):
     instead: deadline stragglers weigh zero (their upload missed the
     close), and under the async-buffer policy an in-flight client's
     earlier update is aggregated when it finally *arrives*, discounted by
-    its staleness weight — the client's model still holds the state it
-    trained when it started, so the carried delivery is exactly that
-    stale state.
+    its staleness weight.  The carried delivery replays the *state
+    snapshot taken at upload time* — held here until the arrival lands —
+    so anything that mutates the client in between (an availability
+    restart, an eviction/rebuild, side-effect-free evaluation) cannot
+    alter what the server aggregates.
     """
 
     algorithm_name = "fedavg"
@@ -45,9 +47,9 @@ class FedAvg(FederatedTrainer):
     def __init__(self, *args, stragglers=None, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self.stragglers = stragglers
-        # Example counts of async in-flight updates, consumed when the
-        # carried delivery finally arrives in a later round.
-        self._held_examples: Dict[int, int] = {}
+        # Upload-time (state, examples) snapshots of async in-flight
+        # updates, consumed when the carried delivery finally arrives.
+        self._held_updates: Dict[int, tuple] = {}
 
     def _local_epochs(self, client_index: int) -> Optional[int]:
         if self.stragglers is None:
@@ -85,17 +87,29 @@ class FedAvg(FederatedTrainer):
             if update is not None:
                 state, examples = update.state, update.num_examples
             else:
-                # A carried async arrival: the client was not re-trained
-                # while in flight, so its model still holds the state it
-                # uploaded — deliver that, staleness-discounted.
-                state = self.clients[delivery.client_id].state_dict()
-                examples = self._held_examples.pop(delivery.client_id, 1)
+                # A carried async arrival: replay the snapshot held at
+                # upload time, staleness-discounted.  (The live model may
+                # have moved since — restarts, evictions and evaluation
+                # must not change what the server aggregates.)
+                held = self._held_updates.pop(delivery.client_id, None)
+                if held is not None:
+                    state, examples = held
+                else:
+                    # No held snapshot (e.g. a plan replayed post hoc):
+                    # fall back to the client's current state.
+                    state = self.clients[delivery.client_id].state_dict()
+                    examples = 1
             states.append(state)
             weights.append(examples * delivery.weight)
         delivered = plan.delivered_ids
         for update in updates:
-            if update.client_id not in delivered:
-                self._held_examples[update.client_id] = update.num_examples
+            if update.client_id in delivered:
+                self._held_updates.pop(update.client_id, None)
+            else:
+                self._held_updates[update.client_id] = (
+                    update.state,
+                    update.num_examples,
+                )
         if not states:
             return  # the server closed the round before any upload landed
         self.global_state = fedavg_average(

@@ -20,7 +20,7 @@ same aggregate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -94,11 +94,24 @@ class SubFedAvgTrainer(FederatedTrainer):
         self.aggregator = aggregator
         self.track_trajectory = track_trajectory
         self.trajectory: List[TrajectoryPoint] = []
-        for client in clients:
-            controller = PruningController(
-                client.model, unstructured=unstructured, structured=structured
+        # Upload-time (state, mask) snapshots of async in-flight updates,
+        # consumed when the carried delivery finally arrives.
+        self._held_states: Dict[int, Tuple[dict, object]] = {}
+
+        def _attach(client: FederatedClient) -> None:
+            client.attach_controller(
+                PruningController(
+                    client.model, unstructured=unstructured, structured=structured
+                )
             )
-            client.attach_controller(controller)
+
+        if hasattr(clients, "add_setup_hook"):
+            # A ClientPool attaches the controller at materialization, so a
+            # million-client fleet never instantiates a million controllers.
+            clients.add_setup_hook(_attach)
+        else:
+            for client in clients:
+                _attach(client)
 
     # ------------------------------------------------------------------
     def _round(self, round_index: int, sampled: List[int]) -> RoundRecord:
@@ -178,8 +191,10 @@ class SubFedAvgTrainer(FederatedTrainer):
         Without a fleet simulator every update is delivered (legacy
         behavior).  Under a plan, deadline stragglers are dropped (their
         upload missed the close — the zero-fill aggregator's zero-weight
-        path) and carried async arrivals contribute the state and mask
-        the in-flight client still holds.
+        path) and carried async arrivals replay the (state, mask) snapshot
+        taken at upload time, so nothing that mutates the client in the
+        meantime (restarts, pool evictions, evaluation) changes what the
+        server aggregates.
         """
         plan = self.round_plan
         if plan is None:
@@ -192,9 +207,22 @@ class SubFedAvgTrainer(FederatedTrainer):
                 states.append(update.state)
                 masks.append(update.mask)
             else:
-                client = self.clients[delivery.client_id]
-                states.append(client.state_dict())
-                masks.append(client.mask)
+                held = self._held_states.pop(delivery.client_id, None)
+                if held is not None:
+                    state, mask = held
+                else:
+                    # No held snapshot (e.g. a plan replayed post hoc):
+                    # fall back to the client's current state.
+                    client = self.clients[delivery.client_id]
+                    state, mask = client.state_dict(), client.mask
+                states.append(state)
+                masks.append(mask)
+        delivered = plan.delivered_ids
+        for update in updates:
+            if update.client_id in delivered:
+                self._held_states.pop(update.client_id, None)
+            else:
+                self._held_states[update.client_id] = (update.state, update.mask)
         return states, masks
 
     def _kept_params(self, mask) -> int:

@@ -65,6 +65,7 @@ from .fleet import (
     DeviceProfile,
     Fleet,
     FleetSpec,
+    HierarchicalFleet,
     available_fleets,
     build_fleet,
     fleet_specs,
@@ -73,19 +74,28 @@ from .fleet import (
     resolve_profiles,
     unregister_fleet,
 )
-from .timeline import ClientTimeline, TrafficMap, build_timelines, phase_seconds
+from .timeline import (
+    ClientTimeline,
+    RoundTimelines,
+    TrafficMap,
+    build_round_timelines,
+    build_timelines,
+    phase_seconds,
+)
 from .rounds import (
     AsyncBufferPolicy,
     DeadlinePolicy,
     Delivery,
     FleetSimReport,
     FleetSimulator,
+    LazyDeliveries,
     PolicyDecision,
     RoundOutcome,
     RoundPlan,
     RoundPolicy,
     RoundPolicySpec,
     SynchronousPolicy,
+    VectorDecision,
     available_round_policies,
     build_round_policy,
     get_round_policy,
@@ -117,6 +127,7 @@ __all__ = [
     "RASPBERRY_PI",
     "WORKSTATION",
     "Fleet",
+    "HierarchicalFleet",
     "FleetSpec",
     "register_fleet",
     "unregister_fleet",
@@ -126,16 +137,20 @@ __all__ = [
     "build_fleet",
     "resolve_profiles",
     "ClientTimeline",
+    "RoundTimelines",
     "TrafficMap",
     "phase_seconds",
     "build_timelines",
+    "build_round_timelines",
     "RoundPolicy",
     "RoundPolicySpec",
     "SynchronousPolicy",
     "DeadlinePolicy",
     "AsyncBufferPolicy",
     "PolicyDecision",
+    "VectorDecision",
     "Delivery",
+    "LazyDeliveries",
     "RoundPlan",
     "RoundOutcome",
     "FleetSimReport",

@@ -24,7 +24,9 @@ compatibility.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
 
 
 @dataclass(frozen=True)
@@ -102,6 +104,7 @@ class Fleet:
             raise ValueError("a Fleet needs at least one device profile")
         self.cycle: Tuple[DeviceProfile, ...] = tuple(cycle) or (assignments[-1],)
         self.assignments: Tuple[DeviceProfile, ...] = tuple(assignments)
+        self._rate_table: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
 
     def profile_for(self, client_id: int) -> DeviceProfile:
         """The device profile of one client (round-robin past assignments)."""
@@ -114,6 +117,61 @@ class Fleet:
     def profiles_for(self, client_ids: Sequence[int]) -> Tuple[DeviceProfile, ...]:
         return tuple(self.profile_for(client_id) for client_id in client_ids)
 
+    # ------------------------------------------------------------------
+    # Vectorized access (the million-client hot path)
+    # ------------------------------------------------------------------
+    def profile_table(self) -> Tuple[DeviceProfile, ...]:
+        """All distinct profile *slots* — assignments first, then the cycle.
+
+        :meth:`profile_indices` indexes into this tuple, so any per-profile
+        quantity (rates, participation probabilities, …) can be gathered for
+        a whole cohort with one fancy-index instead of an O(n) Python loop.
+        """
+        return (*self.assignments, *self.cycle)
+
+    def profile_indices(self, client_ids) -> np.ndarray:
+        """Index of each client's profile in :meth:`profile_table`."""
+        ids = np.asarray(client_ids, dtype=np.int64)
+        if ids.size and int(ids.min()) < 0:
+            raise ValueError("client ids must be >= 0")
+        pinned = len(self.assignments)
+        indices = pinned + (ids % len(self.cycle))
+        if pinned:
+            indices = np.where(ids < pinned, ids, indices)
+        return indices
+
+    def _rates(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self._rate_table is None:
+            table = self.profile_table()
+            self._rate_table = (
+                np.array([p.flops_per_second for p in table], dtype=np.float64),
+                np.array([p.upload_bytes_per_second for p in table], dtype=np.float64),
+                np.array([p.download_bytes_per_second for p in table], dtype=np.float64),
+            )
+        return self._rate_table
+
+    def profile_arrays(
+        self, client_ids
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-client ``(flops/s, upload B/s, download B/s)`` float64 arrays.
+
+        The values are the *same float objects* the scalar
+        :meth:`profile_for` path reads, so pricing a round from these
+        arrays is bit-identical to the per-client loop.
+        """
+        indices = self.profile_indices(client_ids)
+        flops, up, down = self._rates()
+        return flops[indices], up[indices], down[indices]
+
+    def upload_rates(self, client_ids) -> np.ndarray:
+        """Effective per-client upload rate for one round's cohort.
+
+        The base fleet has no shared links, so this is just the device
+        uplink; :class:`HierarchicalFleet` overrides it to price regional
+        uplink contention across the cohort.
+        """
+        return self._rates()[1][self.profile_indices(client_ids)]
+
     def device_classes(self) -> Tuple[str, ...]:
         """Distinct device-class names in this fleet, in first-seen order."""
         seen: Dict[str, None] = {}
@@ -123,6 +181,53 @@ class Fleet:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Fleet(classes={self.device_classes()})"
+
+
+class HierarchicalFleet(Fleet):
+    """Two-tier fleet: clients upload through shared region cells.
+
+    Clients are spread over ``regions`` edge aggregators (cell towers /
+    regional gateways) by ``client_id % regions``.  Each region shares one
+    backhaul uplink of ``region_uplink_bytes_per_second``: when a round's
+    cohort puts ``k`` clients in the same cell, each gets an equal
+    ``uplink / k`` share, and a client's effective upload rate is the
+    minimum of its device uplink and that share — so bandwidth contention
+    falls out of the pricing with no extra event machinery.  Compute and
+    download are unaffected (the download path is server → broadcast).
+    """
+
+    def __init__(
+        self,
+        cycle: Sequence[DeviceProfile] = (EDGE_PHONE,),
+        assignments: Sequence[DeviceProfile] = (),
+        *,
+        regions: int = 1,
+        region_uplink_bytes_per_second: float = float("inf"),
+    ) -> None:
+        super().__init__(cycle, assignments)
+        if regions < 1:
+            raise ValueError(f"regions must be >= 1, got {regions}")
+        if region_uplink_bytes_per_second <= 0:
+            raise ValueError("region_uplink_bytes_per_second must be positive")
+        self.regions = int(regions)
+        self.region_uplink_bytes_per_second = float(region_uplink_bytes_per_second)
+
+    def cells_for(self, client_ids) -> np.ndarray:
+        """Region-cell index of each client (``client_id % regions``)."""
+        return np.asarray(client_ids, dtype=np.int64) % self.regions
+
+    def upload_rates(self, client_ids) -> np.ndarray:
+        device_up = super().upload_rates(client_ids)
+        cells = self.cells_for(client_ids)
+        occupancy = np.bincount(cells, minlength=self.regions)
+        fair_share = self.region_uplink_bytes_per_second / occupancy[cells]
+        return np.minimum(device_up, fair_share)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HierarchicalFleet(classes={self.device_classes()}, "
+            f"regions={self.regions})"
+        )
 
 
 # ----------------------------------------------------------------------
@@ -141,19 +246,24 @@ class FleetSpec:
     name: str
     factory: Callable[..., Fleet]
     summary: str = ""
+    tiers: str = "clients → server"
 
 
 _REGISTRY: Dict[str, FleetSpec] = {}
 
 
-def register_fleet(name: str, *, summary: str = "") -> Callable:
+def register_fleet(
+    name: str, *, summary: str = "", tiers: str = "clients → server"
+) -> Callable:
     """Decorator adding a fleet factory to the registry under ``name``."""
 
     def decorator(factory: Callable) -> Callable:
         if name in _REGISTRY:
             raise ValueError(f"fleet {name!r} is already registered")
         doc = summary or (factory.__doc__ or "").strip().splitlines()[0].strip()
-        _REGISTRY[name] = FleetSpec(name=name, factory=factory, summary=doc)
+        _REGISTRY[name] = FleetSpec(
+            name=name, factory=factory, summary=doc, tiers=tiers
+        )
         return factory
 
     return decorator
@@ -225,3 +335,29 @@ def _profile_list_fleet(num_clients: int, scenario) -> Fleet:
         )
     assignments = resolve_profiles(names)
     return Fleet(cycle=assignments[-1:], assignments=assignments)
+
+
+@register_fleet(
+    "hierarchical",
+    summary="two-tier fleet: device classes round-robin, uploads share "
+    "per-region backhaul uplinks (client_id mod regions)",
+    tiers="clients → region cells → server",
+)
+def _hierarchical_fleet(num_clients: int, scenario) -> HierarchicalFleet:
+    profiles = resolve_profiles(scenario.profiles) or (EDGE_PHONE,)
+    regions = getattr(scenario, "regions", 0)
+    uplink = getattr(scenario, "region_uplink_bytes_per_second", 0.0)
+    if regions < 1:
+        raise ValueError(
+            "the 'hierarchical' fleet requires scenario.regions >= 1 "
+            "(number of edge-aggregator cells)"
+        )
+    if uplink <= 0:
+        raise ValueError(
+            "the 'hierarchical' fleet requires "
+            "scenario.region_uplink_bytes_per_second > 0 "
+            "(shared backhaul capacity per cell)"
+        )
+    return HierarchicalFleet(
+        cycle=profiles, regions=regions, region_uplink_bytes_per_second=uplink
+    )

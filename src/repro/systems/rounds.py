@@ -39,13 +39,23 @@ fresh engine.
 
 from __future__ import annotations
 
+from collections.abc import Sequence as SequenceABC
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from .clock import SimClock
 from .events import COMPUTE_DONE, DOWNLOAD_DONE, UPLOAD_DONE, Event
 from .fleet import Fleet
-from .timeline import ClientTimeline, TrafficMap, build_timelines
+from .timeline import (
+    ClientTimeline,
+    RoundTimelines,
+    TrafficLike,
+    TrafficMap,
+    build_round_timelines,
+    build_timelines,
+)
 
 
 # ----------------------------------------------------------------------
@@ -66,6 +76,94 @@ class Delivery:
     weight: float
 
 
+class LazyDeliveries(SequenceABC):
+    """A delivery list stored as four aligned arrays.
+
+    Constructing a million :class:`Delivery` objects would eat the whole
+    vectorized-pricing win, so the vector path keeps the arrays and
+    materializes a :class:`Delivery` only when someone indexes in.  It
+    compares equal to the scalar path's ``tuple`` of deliveries (same
+    ids/staleness/weights in the same order), which is what the parity
+    tests assert.
+    """
+
+    __slots__ = (
+        "client_ids",
+        "rounds_started",
+        "staleness",
+        "weights",
+        "_id_set",
+        "_weight_map",
+    )
+
+    def __init__(self, client_ids, rounds_started, staleness, weights) -> None:
+        self.client_ids = np.asarray(client_ids, dtype=np.int64)
+        self.rounds_started = np.asarray(rounds_started, dtype=np.int64)
+        self.staleness = np.asarray(staleness, dtype=np.int64)
+        self.weights = np.asarray(weights, dtype=np.float64)
+        self._id_set: Optional[frozenset] = None
+        self._weight_map: Optional[Dict[int, float]] = None
+
+    @classmethod
+    def uniform(cls, client_ids: np.ndarray, round_index: int) -> "LazyDeliveries":
+        """Fresh on-time deliveries: staleness 0, weight 1.0 for everyone."""
+        count = int(client_ids.size)
+        return cls(
+            client_ids,
+            np.full(count, round_index, dtype=np.int64),
+            np.zeros(count, dtype=np.int64),
+            np.ones(count, dtype=np.float64),
+        )
+
+    def __len__(self) -> int:
+        return int(self.client_ids.size)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return tuple(
+                self[position] for position in range(*index.indices(len(self)))
+            )
+        return Delivery(
+            client_id=int(self.client_ids[index]),
+            round_started=int(self.rounds_started[index]),
+            staleness=int(self.staleness[index]),
+            weight=float(self.weights[index]),
+        )
+
+    @property
+    def id_set(self) -> frozenset:
+        if self._id_set is None:
+            self._id_set = frozenset(self.client_ids.tolist())
+        return self._id_set
+
+    def weight_for(self, client_id: int) -> float:
+        if self._weight_map is None:
+            self._weight_map = dict(
+                zip(self.client_ids.tolist(), self.weights.tolist())
+            )
+        return self._weight_map.get(int(client_id), 0.0)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, LazyDeliveries):
+            return (
+                np.array_equal(self.client_ids, other.client_ids)
+                and np.array_equal(self.rounds_started, other.rounds_started)
+                and np.array_equal(self.staleness, other.staleness)
+                and np.array_equal(self.weights, other.weights)
+            )
+        if isinstance(other, (tuple, list)):
+            return len(other) == len(self) and all(
+                mine == theirs for mine, theirs in zip(self, other)
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(tuple(self))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LazyDeliveries(n={len(self)})"
+
+
 @dataclass(frozen=True)
 class PolicyDecision:
     """A policy's verdict on one round's timelines."""
@@ -73,6 +171,15 @@ class PolicyDecision:
     delivered: Tuple[ClientTimeline, ...]
     late: Tuple[ClientTimeline, ...]
     close_seconds: float  # seconds from round start to close (excl. overhead)
+
+
+@dataclass(frozen=True)
+class VectorDecision:
+    """The vector path's verdict: deliveries already weighted, arrays kept."""
+
+    deliveries: LazyDeliveries
+    stragglers: Tuple[int, ...]  # fresh clients whose upload misses the close
+    close_seconds: float
 
 
 class RoundPolicy:
@@ -107,6 +214,32 @@ class RoundPolicy:
         """
         raise NotImplementedError
 
+    def decide_vector(
+        self,
+        round_index: int,
+        start: float,
+        fresh: RoundTimelines,
+        carried: Sequence[ClientTimeline],
+    ) -> VectorDecision:
+        """Array-shaped :meth:`decide`.  Policies that implement it must
+        produce the same deliveries/stragglers/close as the scalar path to
+        the last bit; policies that don't are silently priced on the
+        scalar path (the simulator checks for an override)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} has no vectorized decision path"
+        )
+
+    def close_vector(
+        self,
+        plan: "RoundPlan",
+        fresh: RoundTimelines,
+        carried: Sequence[ClientTimeline],
+    ) -> float:
+        """Array-shaped :meth:`close_seconds_for`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} has no vectorized completion path"
+        )
+
     def weight(self, staleness: int) -> float:
         return 1.0
 
@@ -128,6 +261,16 @@ class SynchronousPolicy(RoundPolicy):
 
     def close_seconds_for(self, plan, fresh, carried) -> float:
         return max((t.duration for t in fresh), default=0.0)
+
+    def decide_vector(self, round_index, start, fresh, carried) -> VectorDecision:
+        return VectorDecision(
+            deliveries=LazyDeliveries.uniform(fresh.client_ids, round_index),
+            stragglers=(),
+            close_seconds=fresh.max_duration(),
+        )
+
+    def close_vector(self, plan, fresh, carried) -> float:
+        return fresh.max_duration()
 
 
 class DeadlinePolicy(RoundPolicy):
@@ -160,6 +303,25 @@ class DeadlinePolicy(RoundPolicy):
             self.deadline_seconds,
             max((t.duration for t in fresh), default=0.0),
         )
+
+    def decide_vector(self, round_index, start, fresh, carried) -> VectorDecision:
+        on_time = fresh.durations <= self.deadline_seconds
+        late_ids = fresh.client_ids[~on_time]
+        close = (
+            self.deadline_seconds if late_ids.size else fresh.max_duration()
+        )
+        return VectorDecision(
+            deliveries=LazyDeliveries.uniform(
+                fresh.client_ids[on_time], round_index
+            ),
+            stragglers=tuple(late_ids.tolist()),
+            close_seconds=close,
+        )
+
+    def close_vector(self, plan, fresh, carried) -> float:
+        if plan.stragglers:
+            return self.deadline_seconds
+        return min(self.deadline_seconds, fresh.max_duration())
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"DeadlinePolicy(deadline_seconds={self.deadline_seconds})"
@@ -220,6 +382,76 @@ class AsyncBufferPolicy(RoundPolicy):
 
     def weight(self, staleness: int) -> float:
         return float((1 + staleness) ** -self.staleness_exponent)
+
+    def _weights(self, staleness: np.ndarray) -> np.ndarray:
+        # Per-unique scalar pow: a cohort has at most a handful of distinct
+        # staleness values, and routing each through `weight()` keeps the
+        # vector path bit-identical to CPython's float pow.
+        unique, inverse = np.unique(staleness, return_inverse=True)
+        table = np.array(
+            [self.weight(int(value)) for value in unique.tolist()],
+            dtype=np.float64,
+        )
+        return table[inverse]
+
+    def decide_vector(self, round_index, start, fresh, carried) -> VectorDecision:
+        carried = tuple(carried)
+        ids = fresh.client_ids
+        finishes = fresh.finishes
+        rounds_started = np.full(len(fresh), round_index, dtype=np.int64)
+        if carried:
+            ids = np.concatenate(
+                [ids, np.array([t.client_id for t in carried], dtype=np.int64)]
+            )
+            finishes = np.concatenate(
+                [finishes, np.array([t.finish for t in carried], dtype=np.float64)]
+            )
+            rounds_started = np.concatenate(
+                [
+                    rounds_started,
+                    np.array([t.round_index for t in carried], dtype=np.int64),
+                ]
+            )
+        if ids.size == 0:
+            empty = np.array([], dtype=np.int64)
+            return VectorDecision(
+                deliveries=LazyDeliveries.uniform(empty, round_index),
+                stragglers=(),
+                close_seconds=0.0,
+            )
+        # Matches sorted(key=(finish, client_id)): lexsort's last key is
+        # primary, and client ids are unique so the order is total.
+        order = np.lexsort((ids, finishes))
+        k = self._buffer(int(ids.size))
+        take = order[:k]
+        staleness = round_index - rounds_started[take]
+        late = order[k:]
+        fresh_late = late[rounds_started[late] == round_index]
+        return VectorDecision(
+            deliveries=LazyDeliveries(
+                ids[take], rounds_started[take], staleness, self._weights(staleness)
+            ),
+            stragglers=tuple(ids[fresh_late].tolist()),
+            close_seconds=max(0.0, float(finishes[take[-1]]) - start),
+        )
+
+    def close_vector(self, plan, fresh, carried) -> float:
+        finish_by_id = {t.client_id: t.finish for t in carried}
+        finish_by_id.update(
+            zip(fresh.client_ids.tolist(), fresh.finishes.tolist())
+        )
+        delivered = plan.deliveries
+        delivered_ids = (
+            delivered.client_ids.tolist()
+            if isinstance(delivered, LazyDeliveries)
+            else [d.client_id for d in delivered]
+        )
+        finishes = [
+            finish_by_id[cid] for cid in delivered_ids if cid in finish_by_id
+        ]
+        if not finishes:
+            return 0.0
+        return max(0.0, max(finishes) - plan.start)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -323,17 +555,21 @@ class RoundPlan:
     sampled: Tuple[int, ...]
     started: Tuple[int, ...]
     busy: Tuple[int, ...]
-    deliveries: Tuple[Delivery, ...]
+    deliveries: Union[Tuple[Delivery, ...], LazyDeliveries]
     stragglers: Tuple[int, ...]
     close_seconds: float
     round_seconds: float
 
     @property
     def delivered_ids(self) -> frozenset:
+        if isinstance(self.deliveries, LazyDeliveries):
+            return self.deliveries.id_set
         return frozenset(d.client_id for d in self.deliveries)
 
     def delivery_weight(self, client_id: int) -> float:
         """Aggregation weight for one client (0.0 when not delivered)."""
+        if isinstance(self.deliveries, LazyDeliveries):
+            return self.deliveries.weight_for(client_id)
         for delivery in self.deliveries:
             if delivery.client_id == client_id:
                 return delivery.weight
@@ -348,7 +584,7 @@ class RoundOutcome:
     start: float
     close_seconds: float
     round_seconds: float
-    deliveries: Tuple[Delivery, ...]
+    deliveries: Union[Tuple[Delivery, ...], LazyDeliveries]
     stragglers: Tuple[int, ...]
     busy: Tuple[int, ...]
     events: Tuple[Event, ...]
@@ -395,6 +631,7 @@ class FleetSimulator:
         server_overhead_seconds: float = 0.5,
         jitter: float = 0.0,
         seed: int = 0,
+        pricing: str = "vector",
     ) -> None:
         if flops_per_example <= 0 or examples_per_round <= 0:
             raise ValueError(
@@ -402,6 +639,17 @@ class FleetSimulator:
             )
         if not 0.0 <= jitter < 1.0:
             raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        if pricing not in ("vector", "scalar"):
+            raise ValueError(
+                f"pricing must be 'vector' or 'scalar', got {pricing!r}"
+            )
+        if (
+            pricing == "vector"
+            and type(policy).decide_vector is RoundPolicy.decide_vector
+        ):
+            # A policy (e.g. third-party) without a batch path is priced on
+            # the legacy per-client loop rather than crashing mid-round.
+            pricing = "scalar"
         self.fleet = fleet
         self.policy = policy
         self.flops_per_example = flops_per_example
@@ -409,13 +657,15 @@ class FleetSimulator:
         self.server_overhead_seconds = server_overhead_seconds
         self.jitter = jitter
         self.seed = seed
+        self.pricing = pricing
         self.clock = SimClock(seed=seed)
         self.in_flight: Dict[int, ClientTimeline] = {}
         self.pending: Optional[RoundPlan] = None
         self.total_seconds = 0.0
         self.outcomes: List[RoundOutcome] = []
-        self._plan_traffic: TrafficMap = {}
+        self._plan_traffic: TrafficLike = {}
         self._plan_factors: Dict[int, float] = {}
+        self._plan_draws: Optional[np.ndarray] = None
 
     def fresh(self) -> "FleetSimulator":
         """A new engine with the same parameters and seed, at time zero."""
@@ -427,17 +677,25 @@ class FleetSimulator:
             server_overhead_seconds=self.server_overhead_seconds,
             jitter=self.jitter,
             seed=self.seed,
+            pricing=self.pricing,
         )
 
     # ------------------------------------------------------------------
     # Two-phase live protocol
     # ------------------------------------------------------------------
-    def _jitter_factors(self, client_ids: Sequence[int]) -> Dict[int, float]:
-        if self.jitter <= 0.0 or not client_ids:
-            return {}
-        draws = self.clock.rng.uniform(
-            1.0 - self.jitter, 1.0 + self.jitter, size=len(client_ids)
+    def _jitter_draws(self, count: int) -> Optional[np.ndarray]:
+        """One batched RNG draw per plan — both pricing modes consume the
+        same stream positions, so switching modes never shifts the seed."""
+        if self.jitter <= 0.0 or count == 0:
+            return None
+        return self.clock.rng.uniform(
+            1.0 - self.jitter, 1.0 + self.jitter, size=count
         )
+
+    def _jitter_factors(self, client_ids: Sequence[int]) -> Dict[int, float]:
+        draws = self._jitter_draws(len(client_ids))
+        if draws is None:
+            return {}
         return {cid: float(factor) for cid, factor in zip(client_ids, draws)}
 
     def _timelines(
@@ -454,6 +712,22 @@ class FleetSimulator:
             jitter_factors=self._plan_factors,
         )
 
+    @staticmethod
+    def _as_traffic_map(traffic: TrafficLike, client_ids: Sequence[int]) -> TrafficMap:
+        """The scalar path needs a per-client dict; expand uniform pairs."""
+        if isinstance(traffic, dict):
+            return traffic
+        upload, download = traffic
+        count = len(client_ids)
+        up = np.broadcast_to(np.asarray(upload, dtype=np.float64), (count,))
+        down = np.broadcast_to(np.asarray(download, dtype=np.float64), (count,))
+        return {
+            cid: (up_bytes, down_bytes)
+            for cid, up_bytes, down_bytes in zip(
+                client_ids, up.tolist(), down.tolist()
+            )
+        }
+
     def plan_round(
         self, round_index: int, sampled: Sequence[int], traffic: TrafficMap
     ) -> RoundPlan:
@@ -468,7 +742,10 @@ class FleetSimulator:
         if self.pending is not None:
             self.complete_round(None)
         start = self.clock.now
-        sampled = tuple(int(cid) for cid in sampled)
+        if isinstance(sampled, np.ndarray):
+            sampled = tuple(sampled.tolist())
+        else:
+            sampled = tuple(int(cid) for cid in sampled)
         busy = tuple(cid for cid in sampled if cid in self.in_flight)
         if busy and len(busy) == len(sampled):
             # Every sampled client is mid-flight: restart them all (their
@@ -478,25 +755,57 @@ class FleetSimulator:
                 self.clock.discard(cid)
             busy = ()
         started = tuple(cid for cid in sampled if cid not in set(busy))
-        self._plan_factors = self._jitter_factors(started)
-        self._plan_traffic = dict(traffic)
-        fresh = self._timelines(round_index, started, traffic)
-        carried = (
-            tuple(self.in_flight.values()) if self.policy.carries_late else ()
-        )
-        decision = self.policy.decide(round_index, start, fresh, carried)
-        deliveries = tuple(
-            Delivery(
-                client_id=t.client_id,
-                round_started=t.round_index,
-                staleness=round_index - t.round_index,
-                weight=self.policy.weight(round_index - t.round_index),
+        self._plan_draws = self._jitter_draws(len(started))
+        self._plan_traffic = dict(traffic) if isinstance(traffic, dict) else traffic
+        if self.pricing == "vector":
+            fresh_vec = build_round_timelines(
+                self.fleet,
+                round_index,
+                start,
+                started,
+                traffic,
+                self.flops_per_example,
+                self.examples_per_round,
+                jitter_factors=self._plan_draws,
             )
-            for t in decision.delivered
-        )
-        stragglers = tuple(
-            t.client_id for t in decision.late if t.round_index == round_index
-        )
+            carried = (
+                tuple(self.in_flight.values()) if self.policy.carries_late else ()
+            )
+            vector = self.policy.decide_vector(round_index, start, fresh_vec, carried)
+            deliveries: Union[Tuple[Delivery, ...], LazyDeliveries] = (
+                vector.deliveries
+            )
+            stragglers = vector.stragglers
+            close_seconds = vector.close_seconds
+        else:
+            self._plan_factors = (
+                {}
+                if self._plan_draws is None
+                else {
+                    cid: float(factor)
+                    for cid, factor in zip(started, self._plan_draws)
+                }
+            )
+            fresh = self._timelines(
+                round_index, started, self._as_traffic_map(traffic, started)
+            )
+            carried = (
+                tuple(self.in_flight.values()) if self.policy.carries_late else ()
+            )
+            decision = self.policy.decide(round_index, start, fresh, carried)
+            deliveries = tuple(
+                Delivery(
+                    client_id=t.client_id,
+                    round_started=t.round_index,
+                    staleness=round_index - t.round_index,
+                    weight=self.policy.weight(round_index - t.round_index),
+                )
+                for t in decision.delivered
+            )
+            stragglers = tuple(
+                t.client_id for t in decision.late if t.round_index == round_index
+            )
+            close_seconds = decision.close_seconds
         plan = RoundPlan(
             round_index=round_index,
             start=start,
@@ -505,8 +814,8 @@ class FleetSimulator:
             busy=busy,
             deliveries=deliveries,
             stragglers=stragglers,
-            close_seconds=decision.close_seconds,
-            round_seconds=decision.close_seconds + self.server_overhead_seconds,
+            close_seconds=close_seconds,
+            round_seconds=close_seconds + self.server_overhead_seconds,
         )
         self.pending = plan
         return plan
@@ -525,14 +834,39 @@ class FleetSimulator:
         if plan is None:
             raise RuntimeError("complete_round called without a pending plan")
         self.pending = None
-        traffic = (
+        traffic: TrafficLike = (
             dict(record.per_client_traffic()) if record is not None
             else self._plan_traffic
         )
-        fresh = self._timelines(plan.round_index, plan.started, traffic)
+        if self.pricing == "vector":
+            close, drained = self._complete_vector(plan, traffic)
+        else:
+            close, drained = self._complete_scalar(plan, traffic)
+        round_seconds = close + self.server_overhead_seconds
+        self.clock.advance_to(plan.start + round_seconds)
+        self.total_seconds += round_seconds
+        outcome = RoundOutcome(
+            round_index=plan.round_index,
+            start=plan.start,
+            close_seconds=close,
+            round_seconds=round_seconds,
+            deliveries=plan.deliveries,
+            stragglers=plan.stragglers,
+            busy=plan.busy,
+            events=drained,
+        )
+        self.outcomes.append(outcome)
+        return outcome
+
+    def _complete_scalar(
+        self, plan: RoundPlan, traffic: TrafficLike
+    ) -> Tuple[float, Tuple[Event, ...]]:
+        """Legacy per-client completion: every phase becomes a clock event."""
+        fresh = self._timelines(
+            plan.round_index, plan.started, self._as_traffic_map(traffic, plan.started)
+        )
         carried = tuple(self.in_flight.values())
         close = self.policy.close_seconds_for(plan, fresh, carried)
-        round_seconds = close + self.server_overhead_seconds
         for timeline in fresh:
             self.clock.schedule_at(
                 timeline.download_done,
@@ -571,20 +905,54 @@ class FleetSimulator:
             # finish slipped past the close already counted this round.
             for timeline in fresh:
                 self.clock.discard(timeline.client_id)
-        self.clock.advance_to(plan.start + round_seconds)
-        self.total_seconds += round_seconds
-        outcome = RoundOutcome(
-            round_index=plan.round_index,
-            start=plan.start,
-            close_seconds=close,
-            round_seconds=round_seconds,
-            deliveries=plan.deliveries,
-            stragglers=plan.stragglers,
-            busy=plan.busy,
-            events=drained,
+        return close, drained
+
+    def _complete_vector(
+        self, plan: RoundPlan, traffic: TrafficLike
+    ) -> Tuple[float, Tuple[Event, ...]]:
+        """Array-shaped completion: the heap holds only cross-round carries.
+
+        Per-phase events for this round's cohort are *not* scheduled — at a
+        million clients the heap would dominate the round — so the drained
+        trace contains only carried-upload events.  The close time, the
+        in-flight set and the simulated clock advance exactly as the scalar
+        path computes them.
+        """
+        fresh = build_round_timelines(
+            self.fleet,
+            plan.round_index,
+            plan.start,
+            plan.started,
+            traffic,
+            self.flops_per_example,
+            self.examples_per_round,
+            jitter_factors=self._plan_draws,
         )
-        self.outcomes.append(outcome)
-        return outcome
+        carried = tuple(self.in_flight.values())
+        close = self.policy.close_vector(plan, fresh, carried)
+        if not self.policy.carries_late:
+            return close, tuple(self.clock.pop_until(plan.start + close))
+        delivered_ids = plan.delivered_ids
+        undelivered = [
+            position
+            for position, cid in enumerate(fresh.client_ids.tolist())
+            if cid not in delivered_ids
+        ]
+        views = [fresh.view(position) for position in undelivered]
+        for timeline in views:
+            self.clock.schedule_at(
+                timeline.finish,
+                UPLOAD_DONE,
+                client_id=timeline.client_id,
+                round_index=plan.round_index,
+            )
+        drained = tuple(self.clock.pop_until(plan.start + close))
+        for cid in delivered_ids:
+            self.in_flight.pop(cid, None)
+            self.clock.discard(cid)
+        for timeline in views:
+            self.in_flight[timeline.client_id] = timeline
+        return close, drained
 
     # ------------------------------------------------------------------
     # Post-hoc mode

@@ -19,12 +19,20 @@ pin.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Iterator, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from .fleet import DeviceProfile, Fleet
 
 #: ``client_id -> (uploaded_bytes, downloaded_bytes)`` for one round.
 TrafficMap = Dict[int, Tuple[float, float]]
+
+#: What the pricing functions accept as per-round traffic: the classic
+#: per-client map, one ``(upload_bytes, download_bytes)`` pair applied to
+#: every client (the million-client fast path — no dict in sight), or a
+#: pair of per-client arrays aligned with ``client_ids``.
+TrafficLike = Union[TrafficMap, Tuple[float, float], Tuple[np.ndarray, np.ndarray]]
 
 
 @dataclass(frozen=True)
@@ -64,6 +72,8 @@ def phase_seconds(
     flops_per_example: float,
     examples_per_round: float,
     jitter_factor: float = 1.0,
+    *,
+    upload_bytes_per_second: Optional[float] = None,
 ) -> Tuple[float, float, float]:
     """(download, compute, upload) seconds for one client's round.
 
@@ -71,11 +81,18 @@ def phase_seconds(
     example is priced at 3× the inference FLOPs.  ``jitter_factor``
     scales every phase (1.0 = the deterministic baseline; the simulator
     draws per-(round, client) factors from its seeded clock RNG).
+    ``upload_bytes_per_second`` overrides the profile's device uplink —
+    hierarchical fleets pass the contended regional share here.
     """
     compute = (
         3.0 * flops_per_example * examples_per_round
     ) / profile.flops_per_second
-    up = upload_bytes / profile.upload_bytes_per_second
+    upload_rate = (
+        profile.upload_bytes_per_second
+        if upload_bytes_per_second is None
+        else upload_bytes_per_second
+    )
+    up = upload_bytes / upload_rate
     down = download_bytes / profile.download_bytes_per_second
     if jitter_factor != 1.0:
         compute *= jitter_factor
@@ -101,8 +118,13 @@ def build_timelines(
     rather than a crash.
     """
     factors = jitter_factors or {}
+    client_ids = tuple(client_ids)
+    # Effective uplinks come from the fleet so shared-link contention
+    # (HierarchicalFleet) prices identically in scalar and vector modes;
+    # for plain fleets these are exactly the profiles' device rates.
+    upload_rates = fleet.upload_rates(client_ids) if client_ids else ()
     timelines = []
-    for client_id in client_ids:
+    for position, client_id in enumerate(client_ids):
         upload_bytes, download_bytes = traffic.get(client_id, (0.0, 0.0))
         down, compute, up = phase_seconds(
             fleet.profile_for(client_id),
@@ -111,6 +133,7 @@ def build_timelines(
             flops_per_example,
             examples_per_round,
             jitter_factor=factors.get(client_id, 1.0),
+            upload_bytes_per_second=float(upload_rates[position]),
         )
         timelines.append(
             ClientTimeline(
@@ -123,3 +146,136 @@ def build_timelines(
             )
         )
     return tuple(timelines)
+
+
+class RoundTimelines:
+    """Struct-of-arrays timelines for one round's whole cohort.
+
+    The vectorized twin of a ``tuple`` of :class:`ClientTimeline`: the
+    simulator's hot path reads the arrays directly (three vector
+    expressions price a million clients), while :meth:`view` materializes
+    a single :class:`ClientTimeline` on demand for the per-event machinery
+    that survives only on the cross-round async-carry path.
+    """
+
+    __slots__ = (
+        "round_index",
+        "start",
+        "client_ids",
+        "download_seconds",
+        "compute_seconds",
+        "upload_seconds",
+        "durations",
+        "finishes",
+    )
+
+    def __init__(
+        self,
+        round_index: int,
+        start: float,
+        client_ids: np.ndarray,
+        download_seconds: np.ndarray,
+        compute_seconds: np.ndarray,
+        upload_seconds: np.ndarray,
+    ) -> None:
+        self.round_index = round_index
+        self.start = start
+        self.client_ids = client_ids
+        self.download_seconds = download_seconds
+        self.compute_seconds = compute_seconds
+        self.upload_seconds = upload_seconds
+        # Same summation order as ClientTimeline.duration / the legacy
+        # WallClockModel (compute + up + down) — bit-for-bit parity.
+        self.durations = compute_seconds + upload_seconds + download_seconds
+        self.finishes = start + self.durations
+
+    def __len__(self) -> int:
+        return int(self.client_ids.size)
+
+    def max_duration(self) -> float:
+        return float(self.durations.max()) if self.client_ids.size else 0.0
+
+    def view(self, position: int) -> ClientTimeline:
+        """The classic per-client view of one cohort entry."""
+        return ClientTimeline(
+            client_id=int(self.client_ids[position]),
+            round_index=self.round_index,
+            start=self.start,
+            download_seconds=float(self.download_seconds[position]),
+            compute_seconds=float(self.compute_seconds[position]),
+            upload_seconds=float(self.upload_seconds[position]),
+        )
+
+    def __iter__(self) -> Iterator[ClientTimeline]:
+        return (self.view(position) for position in range(len(self)))
+
+
+def _traffic_arrays(
+    traffic: TrafficLike, client_ids: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-client (upload_bytes, download_bytes) aligned with ``client_ids``."""
+    if isinstance(traffic, dict):
+        if not traffic:
+            zeros = np.zeros(client_ids.size, dtype=np.float64)
+            return zeros, zeros
+        pairs = np.array(
+            [traffic.get(cid, (0.0, 0.0)) for cid in client_ids.tolist()],
+            dtype=np.float64,
+        ).reshape(client_ids.size, 2)
+        return pairs[:, 0], pairs[:, 1]
+    upload, download = traffic
+    up = np.asarray(upload, dtype=np.float64)
+    down = np.asarray(download, dtype=np.float64)
+    if up.ndim == 0:
+        up = np.full(client_ids.size, float(up), dtype=np.float64)
+    if down.ndim == 0:
+        down = np.full(client_ids.size, float(down), dtype=np.float64)
+    return up, down
+
+
+def build_round_timelines(
+    fleet: Fleet,
+    round_index: int,
+    start: float,
+    client_ids: Sequence[int],
+    traffic: TrafficLike,
+    flops_per_example: float,
+    examples_per_round: float,
+    jitter_factors: Optional[Union[np.ndarray, Dict[int, float]]] = None,
+) -> RoundTimelines:
+    """Vectorized :func:`build_timelines`: one cohort, three array expressions.
+
+    Produces bit-identical phase durations to the scalar path — same
+    division operands in the same order, elementwise — for any fleet,
+    including hierarchical uplink contention.  ``jitter_factors`` may be an
+    array aligned with ``client_ids`` (the simulator's draw order) or the
+    scalar path's ``{client_id: factor}`` dict.
+    """
+    ids = np.asarray(client_ids, dtype=np.int64)
+    upload_bytes, download_bytes = _traffic_arrays(traffic, ids)
+    flops_rates, _, download_rates = fleet.profile_arrays(ids)
+    upload_rates = fleet.upload_rates(ids)
+    compute = (3.0 * flops_per_example * examples_per_round) / flops_rates
+    up = upload_bytes / upload_rates
+    down = download_bytes / download_rates
+    if jitter_factors is not None:
+        if isinstance(jitter_factors, dict):
+            factors = np.array(
+                [jitter_factors.get(cid, 1.0) for cid in ids.tolist()],
+                dtype=np.float64,
+            )
+        else:
+            factors = np.asarray(jitter_factors, dtype=np.float64)
+        # x * 1.0 is exact for finite floats, so unconditional multiply
+        # matches the scalar path's `if factor != 1.0` guard bit-for-bit.
+        compute = compute * factors
+        up = up * factors
+        down = down * factors
+    return RoundTimelines(
+        round_index=round_index,
+        start=start,
+        client_ids=ids,
+        download_seconds=down,
+        compute_seconds=compute,
+        upload_seconds=up,
+    )

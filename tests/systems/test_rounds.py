@@ -210,11 +210,20 @@ class TestDeterminism:
         assert a.round_seconds != c.round_seconds
 
     def test_upload_events_drain_in_arrival_order(self):
+        # Scalar pricing schedules one event per client phase; the vector
+        # path keeps the heap for cross-round carries only.
         run = history([record(1, clients=[0, 1, 2, 3])])
-        report = simulator(SynchronousPolicy()).simulate(run)
+        report = simulator(SynchronousPolicy(), pricing="scalar").simulate(run)
         uploads = [e for e in report.trace if e.kind == UPLOAD_DONE]
         assert len(uploads) == 4
         assert [e.time for e in uploads] == sorted(e.time for e in uploads)
+
+    def test_vector_pricing_drops_per_phase_events(self):
+        run = history([record(1, clients=[0, 1, 2, 3])])
+        vector = simulator(SynchronousPolicy()).simulate(run)
+        scalar = simulator(SynchronousPolicy(), pricing="scalar").simulate(run)
+        assert vector.trace == ()
+        assert vector.round_seconds == scalar.round_seconds
 
 
 class TestEngineProtocol:
@@ -234,7 +243,7 @@ class TestEngineProtocol:
     def test_repriced_late_delivery_leaves_no_stale_events(self):
         """A planned-delivered client whose actual bytes push its finish
         past the close must not leak events into the next round's trace."""
-        engine = simulator(DeadlinePolicy(1.0))
+        engine = simulator(DeadlinePolicy(1.0), pricing="scalar")
         # Estimate says client 0 (phone) makes the deadline easily...
         engine.plan_round(1, [0], {0: (1e5, 1e5)})
         # ...but the recorded actuals blow way past it.
