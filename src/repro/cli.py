@@ -21,6 +21,9 @@ Usage::
     python -m repro fig3   --dataset mnist --preset smoke
     python -m repro ablate --which aggregation --dataset mnist
     python -m repro report --dataset mnist --out report.md
+    python -m repro serve  --dataset mnist --algorithm fedavg --port 8731
+    python -m repro client --url http://127.0.0.1:8731 --clients 0,1,2
+    python -m repro loadtest --clients 1000 --rounds 2 --out BENCH_serving.json
 
 Algorithm, dataset, partitioner, sampler and preset choices are resolved
 from the registries (``repro.federated.registry``, ``repro.data.registry``,
@@ -40,6 +43,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from dataclasses import replace
 from pathlib import Path
 from typing import List, Optional
@@ -280,6 +284,74 @@ def build_parser() -> argparse.ArgumentParser:
     common(report)
     report.add_argument("--out", default="report.md", help="output markdown path")
     report.set_defaults(func=_cmd_report)
+
+    serve = sub.add_parser(
+        "serve", help="serve one run to wire-attached clients over HTTP"
+    )
+    common(serve)
+    serve.add_argument(
+        "--algorithm", choices=available_algorithms(), default="fedavg"
+    )
+    serve.add_argument(
+        "--config", help="serve a serialized FederationConfig JSON file"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8731, help="0 binds an ephemeral port"
+    )
+    serve.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=60.0,
+        help="task lease before a disconnected client's work is re-queued",
+    )
+    serve.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.0,
+        help="simulated seconds per real second of dispatch pacing "
+        "(0 = dispatch immediately; needs a systems section)",
+    )
+    serve.add_argument("--save", help="write the run history JSON here")
+    serve.add_argument(
+        "--set",
+        dest="set_overrides",
+        action="append",
+        default=[],
+        metavar="SECTION.FIELD=VALUE",
+        help="override any config field (same syntax as `repro run --set`)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    client = sub.add_parser(
+        "client", help="attach local training clients to a federation server"
+    )
+    client.add_argument("--url", default="http://127.0.0.1:8731")
+    client.add_argument(
+        "--clients",
+        default=None,
+        help="comma-separated client indices to serve (default: any)",
+    )
+    client.add_argument(
+        "--poll-seconds", type=float, default=5.0, help="long-poll duration"
+    )
+    client.set_defaults(func=_cmd_client)
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="stress the serving path with many concurrent fake clients",
+    )
+    loadtest.add_argument("--clients", type=int, default=1000)
+    loadtest.add_argument("--rounds", type=int, default=2)
+    loadtest.add_argument("--seed", type=int, default=0)
+    loadtest.add_argument(
+        "--poll-seconds", type=float, default=10.0, help="long-poll duration"
+    )
+    loadtest.add_argument(
+        "--timeout", type=float, default=600.0, help="abort after this many seconds"
+    )
+    loadtest.add_argument("--out", help="write the JSON report here")
+    loadtest.set_defaults(func=_cmd_loadtest)
 
     return parser
 
@@ -678,6 +750,75 @@ def _run_ablation(args) -> int:
             f"{result.sparsity:.2f} | {result.communication_gb:.4f}"
         )
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from .serving import FederationServer
+
+    config = _resolve_run_config(args)
+    server = FederationServer(
+        config,
+        host=args.host,
+        port=args.port,
+        lease_seconds=args.lease_seconds,
+        time_scale=args.time_scale,
+    ).start()
+    print(f"serving {config.algorithm} on {config.dataset} at {server.url}")
+    print(
+        f"attach clients with: repro client --url {server.url}"
+        f" --clients 0,1,...  ({config.num_clients} client indices)"
+    )
+    try:
+        history = server.wait()
+        # Give attached clients one long-poll cycle to observe the
+        # run-done status before the endpoint disappears.
+        time.sleep(2.0)
+    except KeyboardInterrupt:
+        print("interrupted; stopping server")
+        return 130
+    finally:
+        server.stop()
+    print(f"run complete: final accuracy {history.final_accuracy:.4f}")
+    if args.save:
+        save_history(args.save, history)
+        print(f"history written to {args.save}")
+    return 0
+
+
+def _cmd_client(args) -> int:
+    from .serving import WireClientRunner
+
+    indices = None
+    if args.clients:
+        indices = [int(part) for part in args.clients.split(",") if part.strip()]
+    runner = WireClientRunner(
+        args.url, client_indices=indices, poll_seconds=args.poll_seconds
+    )
+    served = "any client" if indices is None else f"clients {indices}"
+    print(f"attaching to {args.url}, serving {served}")
+    completed = runner.run()
+    print(f"run complete: {completed} tasks executed")
+    return 0
+
+
+def _cmd_loadtest(args) -> int:
+    from .serving.loadtest import run_load_test
+
+    report = run_load_test(
+        num_clients=args.clients,
+        rounds=args.rounds,
+        seed=args.seed,
+        poll_seconds=args.poll_seconds,
+        timeout=args.timeout,
+    )
+    payload = report.to_dict()
+    print(json.dumps(payload, indent=2))
+    if report.failed_clients:
+        print(f"WARNING: {report.failed_clients} clients failed", file=sys.stderr)
+    if args.out:
+        Path(args.out).write_text(json.dumps(payload, indent=2))
+        print(f"report written to {args.out}", file=sys.stderr)
+    return 1 if report.failed_clients else 0
 
 
 if __name__ == "__main__":

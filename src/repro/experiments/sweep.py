@@ -30,7 +30,6 @@ from __future__ import annotations
 import dataclasses
 import itertools
 import json
-import multiprocessing
 import time
 import traceback
 from concurrent.futures import ThreadPoolExecutor
@@ -39,7 +38,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from ..federated import Federation, FederationConfig
-from ..federated.execution import default_worker_count
+from ..federated.execution import WorkerPool, default_worker_count
 from ..federated.metrics import History
 from ..pruning import StructuredConfig, UnstructuredConfig
 from ..utils.serialization import history_from_dict, history_to_dict
@@ -360,10 +359,14 @@ class SweepRunner:
     ``jobs`` counts concurrent cells (0 = one per CPU); ``executor`` picks
     how they run: ``"serial"`` in the calling thread, ``"thread"`` on a
     thread pool (local SGD is GIL-releasing BLAS, so cells overlap), or
-    ``"process"`` on a fork process pool (full isolation, the default for
-    multi-core sweeps).  With ``resume=True`` cells whose hash is already
-    in the store are loaded, not recomputed — an interrupted sweep picks up
-    where it stopped, and a completed one is a no-op.
+    ``"process"`` on a persistent
+    :class:`~repro.federated.execution.WorkerPool` (full isolation, the
+    default for multi-core sweeps; fork where available, spawn
+    otherwise).  A shared ``pool`` reuses its workers across several
+    runners — grid after grid on one warm pool.  With ``resume=True``
+    cells whose hash is already in the store are loaded, not recomputed
+    — an interrupted sweep picks up where it stopped, and a completed
+    one is a no-op.
     """
 
     def __init__(
@@ -373,22 +376,19 @@ class SweepRunner:
         jobs: int = 1,
         executor: str = "serial",
         resume: bool = True,
+        pool: Optional[WorkerPool] = None,
     ) -> None:
         if executor not in SWEEP_EXECUTORS:
             raise KeyError(
                 f"unknown sweep executor {executor!r}; "
                 f"choose from {sorted(SWEEP_EXECUTORS)}"
             )
-        if executor == "process" and "fork" not in multiprocessing.get_all_start_methods():
-            raise RuntimeError(
-                "the 'process' sweep executor requires the 'fork' start "
-                "method (unavailable on this platform); use 'thread'"
-            )
         self.cells = spec.expand() if isinstance(spec, SweepSpec) else list(spec)
         self.store = store if store is not None else ResultStore()
         self.jobs = default_worker_count(jobs)
         self.executor = executor
         self.resume = resume
+        self.pool = pool
 
     def run(self) -> SweepResult:
         """Run (or load) every cell; one failing cell never kills the rest."""
@@ -465,8 +465,9 @@ class SweepRunner:
         if self.executor == "thread":
             with ThreadPoolExecutor(max_workers=self.jobs) as pool:
                 return list(pool.map(_execute_payload, payloads))
-        context = multiprocessing.get_context("fork")
-        with context.Pool(min(self.jobs, len(payloads))) as pool:
+        if self.pool is not None:
+            return self.pool.map(_execute_payload, payloads)
+        with WorkerPool(workers=min(self.jobs, len(payloads))) as pool:
             return pool.map(_execute_payload, payloads)
 
 

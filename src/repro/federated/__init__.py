@@ -48,18 +48,23 @@ from .callbacks import (
     WallClockCallback,
 )
 from .execution import (
+    WIRE_VERSION,
     ClientTask,
     ClientUpdate,
     ExecutionBackend,
     ProcessBackend,
     SerialBackend,
+    SpawnProcessBackend,
     ThreadBackend,
+    WorkerPool,
     available_backends,
     resolve_backend,
+    resolve_start_method,
     run_client_task,
 )
 from .builder import (
     FederationConfig,
+    ModelFactory,
     build_federation,
     build_trainer,
     make_clients,
@@ -104,12 +109,24 @@ from .trainers import (
     SubFedAvgUn,
 )
 from .compression import (
+    CompressionConfig,
     Compressor,
+    CompressorSpec,
+    EncodedState,
     FedAvgCompressed,
     IdentityCompressor,
     QuantizationCompressor,
     RandomMaskCompressor,
     TopKCompressor,
+    available_compressors,
+    build_compressor,
+    compressor_specs,
+    decode_state,
+    get_compressor,
+    pack_state,
+    register_compressor,
+    unpack_state,
+    unregister_compressor,
 )
 from .robust import (
     AvailabilityModel,
@@ -168,8 +185,12 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "SpawnProcessBackend",
+    "WorkerPool",
+    "WIRE_VERSION",
     "available_backends",
     "resolve_backend",
+    "resolve_start_method",
     "run_client_task",
     "TrainerSpec",
     "register_trainer",
@@ -222,14 +243,27 @@ __all__ = [
     "build_trainer",
     "make_clients",
     "model_factory",
+    "ModelFactory",
     "ALGORITHMS",
     "accounting",
     "Compressor",
+    "CompressorSpec",
+    "CompressionConfig",
+    "EncodedState",
     "IdentityCompressor",
     "TopKCompressor",
     "RandomMaskCompressor",
     "QuantizationCompressor",
     "FedAvgCompressed",
+    "register_compressor",
+    "unregister_compressor",
+    "get_compressor",
+    "available_compressors",
+    "compressor_specs",
+    "build_compressor",
+    "decode_state",
+    "pack_state",
+    "unpack_state",
     "AvailabilityModel",
     "CorruptionModel",
     "StragglerModel",

@@ -49,11 +49,11 @@ from ..data import DataConfig, build_client_data, load_dataset
 from ..data.registry import get_dataset, get_partitioner
 from ..engine import ComputeConfig
 from ..models import create_model
-from ..models.base import ConvNet
 from ..pruning import StructuredConfig, UnstructuredConfig
 from ..systems import FleetSimulator, SystemsConfig, build_round_policy
 from .accounting.flops import dense_conv_flops
 from .client import FederatedClient, LocalTrainConfig
+from .compression import CompressionConfig
 from .execution import BACKENDS
 from .pool import STATE_STORES, ClientPool, make_state_store
 from .scenario import ScenarioConfig, build_sampler, get_sampler
@@ -70,6 +70,7 @@ _SECTION_TYPES = {
     "scenario": ScenarioConfig,
     "systems": SystemsConfig,
     "compute": ComputeConfig,
+    "compression": CompressionConfig,
 }
 
 #: ``scenario`` fields the PR-4 schema carried.  Newer fields (the fleet
@@ -164,6 +165,7 @@ class FederationConfig:
     local: LocalTrainConfig = field(default_factory=LocalTrainConfig)
     unstructured: UnstructuredConfig | None = None
     structured: StructuredConfig | None = None
+    compression: CompressionConfig | None = None  # update codec (None = dense)
 
     def __post_init__(self) -> None:
         # Accept plain mappings for the nested sections (JSON ergonomics).
@@ -302,6 +304,10 @@ class FederationConfig:
             # the historical eager default, so every pre-compute-section
             # config keeps its stable_hash and stored results still resume.
             payload["compute"] = asdict(self.compute)
+        if self.compression is not None:
+            # Hash-gated like systems: absent ⇒ stable_hash unchanged, so
+            # every pre-codec config keeps its historical hash.
+            payload["compression"] = asdict(self.compression)
         return payload
 
     def stable_hash(self, extra: Mapping[str, Any] | None = None) -> str:
@@ -398,10 +404,25 @@ def make_clients(config: FederationConfig) -> ClientPool:
     )
 
 
-def model_factory(config: FederationConfig) -> Callable[[], ConvNet]:
+@dataclass(frozen=True)
+class ModelFactory:
+    """Picklable zero-arg model constructor (shared theta_0 across clients).
+
+    A named class rather than a closure so spawn-start worker pools can
+    ship it: the process backend pickles clients (which hold their
+    factory) when the platform has no ``fork``.
+    """
+
+    dataset: str
+    seed: int
+
+    def __call__(self):
+        return create_model(self.dataset, seed=self.seed)
+
+
+def model_factory(config: FederationConfig) -> ModelFactory:
     """Factory producing identically initialized models (shared theta_0)."""
-    dataset, seed = config.dataset, config.seed
-    return lambda: create_model(dataset, seed=seed)
+    return ModelFactory(config.dataset, config.seed)
 
 
 #: Fallback FLOPs-per-example when the model has no convolutions to count

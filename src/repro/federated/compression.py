@@ -1,26 +1,38 @@
-"""Communication-compression baselines (the paper's related work, §2).
+"""Symmetric update codecs: the compression API behind trainer and wire.
 
 The paper positions Sub-FedAvg against the classic cost-reduction line:
 structured/sketched updates (Konečný et al. 2016) and gradient compression
-(Lin et al. 2017).  This module implements three representative update
-compressors plus a FedAvg variant that uses them, so the repository can
-regenerate the "compression vs pruning" comparison:
+(Lin et al. 2017).  This module implements the representative codecs — and,
+since PR 8, implements them as a *symmetric* API that can actually survive
+a wire:
 
-* :class:`TopKCompressor` — keep the largest-magnitude fraction of the
-  update (deep gradient compression style),
-* :class:`RandomMaskCompressor` — random sparsification (structured-updates
-  style),
-* :class:`QuantizationCompressor` — uniform b-bit quantization.
+* :meth:`Compressor.encode` packs a state/update dict into an
+  :class:`EncodedState` — real bytes (self-describing header + raw
+  buffers) plus the *modeled* bit count the communication meter charges,
+* :meth:`Compressor.decode` is the matching inverse: any instance of the
+  same codec can decode any peer's payload (all parameters needed to
+  decode travel in the payload header),
+* :meth:`Compressor.roundtrip` preserves the historical simulation
+  contract (``decoded_update, bits``) for in-process callers.
 
-Compressors act on *updates* (client state minus global state), which is
-where sparsity/quantization tolerance actually lives; the trainer
-reconstructs states server-side and charges the compressed bit count to the
-communication meter.
+Codecs register with :func:`register_compressor` and are selected by a
+:class:`CompressionConfig` (the ``compression:`` section of
+``FederationConfig``); :func:`build_compressor` resolves one.  The serving
+layer uses the same registry for its uplink transport codec.
+
+Modeled bits vs container bytes: the paper's accounting convention prices
+values at 32 bits (``FLOAT_BITS``) plus 1-bit occupancy masks
+(``MASK_BITS``), while the container carries float64 for bitwise-lossless
+reconstruction — so ``EncodedState.bits`` (what the meter charges) is
+deliberately *not* ``8 * len(payload)``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import json
+import struct
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -33,25 +45,132 @@ from .trainers.fedavg import FedAvg
 
 State = Dict[str, np.ndarray]
 
+#: Container magic + layout version ("repro codec, v1").
+_MAGIC = b"RPC1"
 
+
+# ----------------------------------------------------------------------
+# Payload container: one deterministic byte layout for every codec
+# ----------------------------------------------------------------------
+def pack_payload(meta: Dict, arrays: Dict[str, np.ndarray]) -> bytes:
+    """Pack a JSON-safe ``meta`` dict plus named arrays into one blob.
+
+    Layout: magic, little-endian header length, canonical-JSON header
+    (meta + per-array dtype/shape manifest in insertion order), then the
+    raw array buffers concatenated in the same order.  Deterministic for
+    equal inputs, so payload bytes are comparable across processes.
+    """
+    header = {
+        "meta": meta,
+        "arrays": [
+            {"name": name, "dtype": str(array.dtype), "shape": list(array.shape)}
+            for name, array in arrays.items()
+        ],
+    }
+    head = json.dumps(header, sort_keys=True, separators=(",", ":")).encode()
+    parts = [_MAGIC, struct.pack("<I", len(head)), head]
+    for array in arrays.values():
+        parts.append(np.ascontiguousarray(array).tobytes())
+    return b"".join(parts)
+
+
+def unpack_payload(blob: bytes) -> Tuple[Dict, Dict[str, np.ndarray]]:
+    """Inverse of :func:`pack_payload`: ``(meta, arrays)`` with fresh arrays."""
+    if blob[:4] != _MAGIC:
+        raise ValueError(
+            f"not a codec payload (magic {blob[:4]!r}, expected {_MAGIC!r})"
+        )
+    (head_len,) = struct.unpack("<I", blob[4:8])
+    header = json.loads(blob[8 : 8 + head_len].decode())
+    offset = 8 + head_len
+    arrays: Dict[str, np.ndarray] = {}
+    for spec in header["arrays"]:
+        dtype = np.dtype(spec["dtype"])
+        shape = tuple(spec["shape"])
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        array = np.frombuffer(blob, dtype=dtype, count=count, offset=offset)
+        arrays[spec["name"]] = array.reshape(shape).copy()
+        offset += dtype.itemsize * count
+    return header["meta"], arrays
+
+
+def pack_state(state: State) -> bytes:
+    """Pack a plain state dict losslessly (the identity container)."""
+    return pack_payload({}, {name: np.asarray(v) for name, v in state.items()})
+
+
+def unpack_state(blob: bytes) -> State:
+    """Inverse of :func:`pack_state`."""
+    return unpack_payload(blob)[1]
+
+
+@dataclass(frozen=True)
+class EncodedState:
+    """One encoded update: codec name, payload bytes, modeled wire bits."""
+
+    codec: str
+    payload: bytes
+    bits: float
+
+    @property
+    def nbytes(self) -> int:
+        """Actual container size (≠ ``bits/8``; see module docstring)."""
+        return len(self.payload)
+
+
+# ----------------------------------------------------------------------
+# Codec base class
+# ----------------------------------------------------------------------
 class Compressor:
-    """Lossy update codec: ``encode`` returns the decoded update + its bits.
+    """Symmetric lossy codec over state/update dicts.
 
-    Simulation-friendly contract: instead of materializing a wire format we
-    return the *post-roundtrip* update (what the server would decode) and
-    the exact number of bits a real encoding would occupy.
+    ``encode`` produces an :class:`EncodedState`; ``decode`` reconstructs
+    exactly the post-roundtrip values from the payload alone (every
+    decode parameter travels in the header, so a default-constructed
+    instance of the same codec decodes any peer's payload).
+    ``roundtrip`` keeps the historical in-memory contract.
     """
 
-    def encode(self, update: State) -> Tuple[State, float]:
+    name = "abstract"
+
+    def encode(self, update: State) -> EncodedState:
         raise NotImplementedError
+
+    def decode(self, encoded: Union[EncodedState, bytes]) -> State:
+        blob = encoded.payload if isinstance(encoded, EncodedState) else bytes(encoded)
+        meta, arrays = unpack_payload(blob)
+        codec = meta.get("codec")
+        if codec != self.name:
+            raise ValueError(
+                f"payload was encoded by codec {codec!r}, not {self.name!r}"
+            )
+        return self._decode(meta, arrays)
+
+    def _decode(self, meta: Dict, arrays: Dict[str, np.ndarray]) -> State:
+        raise NotImplementedError
+
+    def roundtrip(self, update: State) -> Tuple[State, float]:
+        """Encode then decode: ``(post-roundtrip update, modeled bits)``."""
+        encoded = self.encode(update)
+        return self.decode(encoded), encoded.bits
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
 
 
 class IdentityCompressor(Compressor):
-    """No-op codec: full-precision update, 32 bits per value."""
+    """Lossless passthrough: raw buffers on the wire, 32 modeled bits/value."""
 
-    def encode(self, update: State) -> Tuple[State, float]:
-        bits = sum(value.size for value in update.values()) * FLOAT_BITS
-        return {name: value.copy() for name, value in update.items()}, float(bits)
+    name = "identity"
+
+    def encode(self, update: State) -> EncodedState:
+        arrays = {name: np.asarray(value) for name, value in update.items()}
+        bits = sum(value.size for value in arrays.values()) * FLOAT_BITS
+        payload = pack_payload({"codec": self.name}, arrays)
+        return EncodedState(self.name, payload, float(bits))
+
+    def _decode(self, meta, arrays):
+        return dict(arrays)
 
 
 class TopKCompressor(Compressor):
@@ -62,24 +181,35 @@ class TopKCompressor(Compressor):
     masks, which keeps the comparison apples-to-apples.
     """
 
-    def __init__(self, fraction: float) -> None:
+    name = "topk"
+
+    def __init__(self, fraction: float = 0.1) -> None:
         if not 0.0 < fraction <= 1.0:
             raise ValueError(f"fraction must be in (0, 1], got {fraction}")
         self.fraction = fraction
 
-    def encode(self, update: State) -> Tuple[State, float]:
+    def encode(self, update: State) -> EncodedState:
         magnitudes = np.concatenate([np.abs(v).ravel() for v in update.values()])
         threshold = _rank_threshold(magnitudes, 1.0 - self.fraction)
-        encoded: State = {}
+        arrays: Dict[str, np.ndarray] = {}
+        shapes: Dict[str, List[int]] = {}
         kept = 0
         total = 0
         for name, value in update.items():
-            mask = np.abs(value) > threshold
-            encoded[name] = value * mask
-            kept += int(mask.sum())
+            value = np.asarray(value, dtype=np.float64)
+            flat = value.ravel()
+            indices = np.flatnonzero(np.abs(flat) > threshold)
+            arrays[f"{name}/idx"] = indices.astype(np.int64)
+            arrays[f"{name}/val"] = flat[indices]
+            shapes[name] = list(value.shape)
+            kept += int(indices.size)
             total += value.size
         bits = kept * FLOAT_BITS + total * MASK_BITS
-        return encoded, float(bits)
+        payload = pack_payload({"codec": self.name, "shapes": shapes}, arrays)
+        return EncodedState(self.name, payload, float(bits))
+
+    def _decode(self, meta, arrays):
+        return _scatter_decode(meta["shapes"], arrays)
 
 
 class RandomMaskCompressor(Compressor):
@@ -87,29 +217,65 @@ class RandomMaskCompressor(Compressor):
 
     Each coordinate survives independently with probability ``fraction``
     and is scaled by ``1/fraction`` so the expected update is unchanged.
+    The mask stream lives encoder-side only; survivors travel explicitly,
+    so decode needs no shared seed.
     """
 
-    def __init__(self, fraction: float, seed: int = 0) -> None:
+    name = "randommask"
+
+    def __init__(self, fraction: float = 0.1, seed: int = 0) -> None:
         if not 0.0 < fraction <= 1.0:
             raise ValueError(f"fraction must be in (0, 1], got {fraction}")
         self.fraction = fraction
         self._rng = np.random.default_rng(seed)
 
-    def encode(self, update: State) -> Tuple[State, float]:
-        encoded: State = {}
+    def encode(self, update: State) -> EncodedState:
+        arrays: Dict[str, np.ndarray] = {}
+        shapes: Dict[str, List[int]] = {}
         kept = 0
         total = 0
         for name, value in update.items():
+            value = np.asarray(value, dtype=np.float64)
             mask = self._rng.random(value.shape) < self.fraction
-            encoded[name] = value * mask / self.fraction
-            kept += int(mask.sum())
+            flat = (value * mask / self.fraction).ravel()
+            indices = np.flatnonzero(mask.ravel())
+            arrays[f"{name}/idx"] = indices.astype(np.int64)
+            arrays[f"{name}/val"] = flat[indices]
+            shapes[name] = list(value.shape)
+            kept += int(indices.size)
             total += value.size
         bits = kept * FLOAT_BITS + total * MASK_BITS
-        return encoded, float(bits)
+        payload = pack_payload({"codec": self.name, "shapes": shapes}, arrays)
+        return EncodedState(self.name, payload, float(bits))
+
+    def _decode(self, meta, arrays):
+        return _scatter_decode(meta["shapes"], arrays)
+
+
+def _scatter_decode(
+    shapes: Dict[str, List[int]], arrays: Dict[str, np.ndarray]
+) -> State:
+    """Rebuild dense tensors from (indices, values) sparse pairs."""
+    decoded: State = {}
+    for name, shape in shapes.items():
+        shape = tuple(shape)
+        size = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        flat = np.zeros(size, dtype=np.float64)
+        flat[arrays[f"{name}/idx"]] = arrays[f"{name}/val"]
+        decoded[name] = flat.reshape(shape)
+    return decoded
 
 
 class QuantizationCompressor(Compressor):
-    """Uniform per-tensor quantization to ``bits`` bits per value."""
+    """Uniform per-tensor quantization to ``bits`` bits per value.
+
+    Codes travel as the narrowest unsigned integer type that holds
+    ``2**bits - 1``; the per-tensor ``(low, span)`` range rides in the
+    header, so decode is exact for the quantized values (encode→decode
+    is bitwise-stable).
+    """
+
+    name = "quantize"
 
     def __init__(self, bits: int = 8) -> None:
         if not 1 <= bits <= 32:
@@ -117,36 +283,196 @@ class QuantizationCompressor(Compressor):
         self.bits = bits
         self.levels = 2 ** bits - 1
 
-    def encode(self, update: State) -> Tuple[State, float]:
-        encoded: State = {}
+    def _code_dtype(self) -> np.dtype:
+        if self.bits <= 8:
+            return np.dtype(np.uint8)
+        if self.bits <= 16:
+            return np.dtype(np.uint16)
+        return np.dtype(np.uint32)
+
+    def encode(self, update: State) -> EncodedState:
+        arrays: Dict[str, np.ndarray] = {}
+        tensors: Dict[str, Dict] = {}
         total_bits = 0.0
         for name, value in update.items():
+            value = np.asarray(value, dtype=np.float64)
             low, high = float(value.min()), float(value.max())
             span = high - low
             if span == 0.0:
-                encoded[name] = value.copy()
+                # Constant tensor: quantization is degenerate, ship it raw.
+                tensors[name] = {"raw": True}
+                arrays[name] = value.copy()
             else:
                 codes = np.round((value - low) / span * self.levels)
-                encoded[name] = low + codes / self.levels * span
+                tensors[name] = {"low": low, "span": span}
+                arrays[name] = codes.astype(self._code_dtype())
             # b bits per value + two 32-bit floats (min/max) per tensor.
             total_bits += value.size * self.bits + 2 * FLOAT_BITS
-        return encoded, total_bits
+        meta = {"codec": self.name, "levels": self.levels, "tensors": tensors}
+        payload = pack_payload(meta, arrays)
+        return EncodedState(self.name, payload, total_bits)
+
+    def _decode(self, meta, arrays):
+        levels = meta["levels"]
+        decoded: State = {}
+        for name, spec in meta["tensors"].items():
+            if spec.get("raw"):
+                decoded[name] = arrays[name]
+            else:
+                codes = arrays[name].astype(np.float64)
+                decoded[name] = spec["low"] + codes / levels * spec["span"]
+        return decoded
 
 
-@register_trainer("fedavg-compressed")
+# ----------------------------------------------------------------------
+# Codec registry + config section
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CompressorSpec:
+    """One registry entry: a factory from config to codec instance."""
+
+    name: str
+    factory: Callable[["CompressionConfig"], Compressor]
+    summary: str = ""
+
+
+_REGISTRY: Dict[str, CompressorSpec] = {}
+
+
+def register_compressor(name: str, *, summary: str = "") -> Callable:
+    """Decorator adding a codec factory to the registry under ``name``.
+
+    The factory receives the :class:`CompressionConfig` selecting it and
+    returns a :class:`Compressor`; the decorated function is returned
+    unchanged so it stays directly callable.
+    """
+
+    def decorator(factory: Callable) -> Callable:
+        if name in _REGISTRY:
+            raise ValueError(f"compressor {name!r} is already registered")
+        doc = summary or (factory.__doc__ or "").strip().split("\n", 1)[0]
+        _REGISTRY[name] = CompressorSpec(name=name, factory=factory, summary=doc)
+        return factory
+
+    return decorator
+
+
+def get_compressor(name: str) -> CompressorSpec:
+    """Look up one registered codec; raises ``KeyError`` for unknown names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown compressor {name!r}; choose from {available_compressors()}"
+        ) from None
+
+
+def available_compressors() -> Tuple[str, ...]:
+    """Registered codec names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def compressor_specs() -> Tuple[CompressorSpec, ...]:
+    """All registry entries, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+def unregister_compressor(name: str) -> CompressorSpec:
+    """Remove one entry (plugin teardown / test isolation); returns it."""
+    try:
+        return _REGISTRY.pop(name)
+    except KeyError:
+        raise KeyError(f"compressor {name!r} is not registered") from None
+
+
+@dataclass(frozen=True)
+class CompressionConfig:
+    """The ``compression:`` config section: codec choice + its knobs.
+
+    ``codec`` resolves through the registry; ``fraction`` parameterizes
+    the sparsifying codecs (topk / randommask), ``bits`` the quantizer,
+    ``seed`` the randommask stream.  Hash-gated on ``FederationConfig``:
+    a config without a section keeps its historical ``stable_hash``.
+    """
+
+    codec: str = "identity"
+    fraction: float = 0.1
+    bits: int = 8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        get_compressor(self.codec)  # raises KeyError for unknown codecs
+
+
+def build_compressor(
+    config: Union[CompressionConfig, str, None] = None,
+) -> Compressor:
+    """Resolve a ``compression`` section (or codec name, or None) to a codec."""
+    if config is None:
+        config = CompressionConfig()
+    elif isinstance(config, str):
+        config = CompressionConfig(codec=config)
+    return get_compressor(config.codec).factory(config)
+
+
+def decode_state(encoded: Union[EncodedState, bytes]) -> State:
+    """Decode any registered codec's payload by its self-describing header."""
+    blob = encoded.payload if isinstance(encoded, EncodedState) else bytes(encoded)
+    meta, _ = unpack_payload(blob)
+    codec = build_compressor(CompressionConfig(codec=meta.get("codec", "identity")))
+    return codec.decode(blob)
+
+
+@register_compressor("identity", summary="lossless passthrough (32 modeled bits/value)")
+def _build_identity(config: CompressionConfig) -> Compressor:
+    return IdentityCompressor()
+
+
+@register_compressor("topk", summary="largest-magnitude fraction of coordinates")
+def _build_topk(config: CompressionConfig) -> Compressor:
+    return TopKCompressor(config.fraction)
+
+
+@register_compressor("randommask", summary="random sparsification, unbiased rescale")
+def _build_randommask(config: CompressionConfig) -> Compressor:
+    return RandomMaskCompressor(config.fraction, seed=config.seed)
+
+
+@register_compressor("quantize", summary="uniform per-tensor b-bit quantization")
+def _build_quantize(config: CompressionConfig) -> Compressor:
+    return QuantizationCompressor(bits=config.bits)
+
+
+# ----------------------------------------------------------------------
+# Compressed-uplink trainer: a thin shim over the registry
+# ----------------------------------------------------------------------
+@register_trainer("fedavg-compressed", config_sections=("compression",))
 class FedAvgCompressed(FedAvg):
     """FedAvg whose uplink carries compressed *updates* instead of states.
 
     Downlink stays full precision (the asymmetric-bandwidth setting of
-    §2: uplink is the bottleneck).  The server decodes each client's
-    update, adds it to the global weights and averages as usual.
+    §2: uplink is the bottleneck).  The server round-trips each client's
+    update through the configured codec and charges the modeled bit
+    count.  The codec comes from the registry via the ``compression:``
+    config section; ``compressor=`` accepts a prebuilt instance directly.
     """
 
     algorithm_name = "fedavg-compressed"
 
-    def __init__(self, *args, compressor: Optional[Compressor] = None, **kwargs):
+    def __init__(
+        self,
+        *args,
+        compressor: Optional[Compressor] = None,
+        compression: Union[CompressionConfig, Dict, None] = None,
+        **kwargs,
+    ):
         super().__init__(*args, **kwargs)
-        self.compressor = compressor if compressor is not None else IdentityCompressor()
+        if isinstance(compression, dict):
+            compression = CompressionConfig(**compression)
+        self.compression = compression
+        if compressor is None:
+            compressor = build_compressor(compression)
+        self.compressor = compressor
 
     def _round(self, round_index: int, sampled: List[int]) -> RoundRecord:
         started = self.round_participants(sampled)
@@ -164,7 +490,7 @@ class FedAvgCompressed(FedAvg):
                 name: value - self.global_state[name]
                 for name, value in update.state.items()
             }
-            decoded, bits = self.compressor.encode(delta)
+            decoded, bits = self.compressor.roundtrip(delta)
             uplink_bits += bits
             client_up[update.client_id] = bits / 8.0
             client_down[update.client_id] = one_way_down

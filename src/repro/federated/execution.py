@@ -27,11 +27,14 @@ objects.
 
 from __future__ import annotations
 
+import base64
 import multiprocessing
 import os
+import pickle
+import weakref
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..pruning import MaskSet
 
@@ -42,6 +45,19 @@ TASK_KINDS = ("train", "evaluate")
 
 #: Valid ``ClientTask.load`` values.
 LOAD_MODES = ("none", "global", "partial")
+
+#: Version stamped on every ``to_wire`` payload; ``from_wire`` refuses
+#: other versions instead of misparsing them.
+WIRE_VERSION = 1
+
+
+def _check_wire_version(payload: Mapping, what: str) -> None:
+    version = payload.get("schema")
+    if version != WIRE_VERSION:
+        raise ValueError(
+            f"unsupported {what} wire schema {version!r} "
+            f"(this build speaks version {WIRE_VERSION})"
+        )
 
 
 @dataclass(frozen=True)
@@ -70,6 +86,35 @@ class ClientTask:
             raise ValueError(f"load must be one of {LOAD_MODES}, got {self.load!r}")
         if self.load == "partial" and not self.shared_names:
             raise ValueError("load='partial' requires shared_names")
+
+    def to_wire(self) -> Dict[str, Any]:
+        """Versioned JSON-safe dict — the serving protocol's task format."""
+        return {
+            "schema": WIRE_VERSION,
+            "client_index": self.client_index,
+            "kind": self.kind,
+            "load": self.load,
+            "shared_names": list(self.shared_names),
+            "anchor_global": self.anchor_global,
+            "epochs": self.epochs,
+            "restore": self.restore,
+            "want_trajectory": self.want_trajectory,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Mapping) -> "ClientTask":
+        """Inverse of :meth:`to_wire`; refuses unknown schema versions."""
+        _check_wire_version(payload, "ClientTask")
+        return cls(
+            client_index=int(payload["client_index"]),
+            kind=str(payload["kind"]),
+            load=str(payload["load"]),
+            shared_names=tuple(payload["shared_names"]),
+            anchor_global=bool(payload["anchor_global"]),
+            epochs=None if payload["epochs"] is None else int(payload["epochs"]),
+            restore=bool(payload["restore"]),
+            want_trajectory=bool(payload["want_trajectory"]),
+        )
 
 
 @dataclass
@@ -104,6 +149,77 @@ class ClientUpdate:
     sparsity: Optional[float] = None
     channel_sparsity: Optional[float] = None
     sync: Optional[ClientSync] = None
+
+    def to_wire(self, codec=None) -> Dict[str, Any]:
+        """Versioned JSON-safe dict with the state encoded by ``codec``.
+
+        ``codec`` is any registered :class:`~repro.federated.compression
+        .Compressor` (None = identity, which is bitwise-lossless); the
+        payload is self-describing, so the receiver decodes without
+        knowing the sender's codec in advance.  ``sync`` stays off the
+        wire deliberately: remote executors own their client state.
+        """
+        from .compression import IdentityCompressor, pack_state
+
+        if codec is None:
+            codec = IdentityCompressor()
+        payload: Dict[str, Any] = {
+            "schema": WIRE_VERSION,
+            "client_index": int(self.client_index),
+            "client_id": int(self.client_id),
+            "num_examples": int(self.num_examples),
+            "mean_loss": float(self.mean_loss),
+            "val_accuracy": _opt_float(self.val_accuracy),
+            "pruned_unstructured": bool(self.pruned_unstructured),
+            "pruned_structured": bool(self.pruned_structured),
+            "accuracy": _opt_float(self.accuracy),
+            "sparsity": _opt_float(self.sparsity),
+            "channel_sparsity": _opt_float(self.channel_sparsity),
+            "state": None,
+            "mask": None,
+        }
+        if self.state is not None:
+            encoded = codec.encode(self.state)
+            payload["state"] = {
+                "codec": encoded.codec,
+                "bits": encoded.bits,
+                "blob": base64.b64encode(encoded.payload).decode("ascii"),
+            }
+        if self.mask is not None:
+            blob = pack_state({name: m for name, m in self.mask.items()})
+            payload["mask"] = base64.b64encode(blob).decode("ascii")
+        return payload
+
+    @classmethod
+    def from_wire(cls, payload: Mapping) -> "ClientUpdate":
+        """Inverse of :meth:`to_wire` (state decoded by its own header)."""
+        from .compression import decode_state, unpack_state
+
+        _check_wire_version(payload, "ClientUpdate")
+        state = None
+        if payload["state"] is not None:
+            state = decode_state(base64.b64decode(payload["state"]["blob"]))
+        mask = None
+        if payload["mask"] is not None:
+            mask = MaskSet(unpack_state(base64.b64decode(payload["mask"])))
+        return cls(
+            client_index=int(payload["client_index"]),
+            client_id=int(payload["client_id"]),
+            state=state,
+            mask=mask,
+            num_examples=int(payload["num_examples"]),
+            mean_loss=float(payload["mean_loss"]),
+            val_accuracy=_opt_float(payload["val_accuracy"]),
+            pruned_unstructured=bool(payload["pruned_unstructured"]),
+            pruned_structured=bool(payload["pruned_structured"]),
+            accuracy=_opt_float(payload["accuracy"]),
+            sparsity=_opt_float(payload["sparsity"]),
+            channel_sparsity=_opt_float(payload["channel_sparsity"]),
+        )
+
+
+def _opt_float(value) -> Optional[float]:
+    return None if value is None else float(value)
 
 
 def capture_sync(client) -> ClientSync:
@@ -259,67 +375,162 @@ class ThreadBackend(ExecutionBackend):
         return f"ThreadBackend(workers={self.workers})"
 
 
-# Per-worker context for ProcessBackend. With the fork start method the
-# pool initializer and its arguments are inherited by reference (nothing is
-# pickled), so each pool binds its own context in its own workers — two
-# federations running process pools concurrently cannot see each other's
-# clients, and nothing global mutates in the parent.
-_FORK_CONTEXT: Optional[Tuple[Sequence[ClientTask], Sequence, State]] = None
+def resolve_start_method(start_method: Optional[str] = None) -> str:
+    """Pick a multiprocessing start method, failing loudly when impossible.
+
+    ``None`` auto-selects: ``fork`` where available (cheap worker startup,
+    shared read-only pages), else ``spawn`` — so platforms without fork
+    (Windows, macOS defaults) get a working pool instead of a crash or a
+    hang.  An explicit method that the platform lacks raises a clear
+    ``RuntimeError`` naming the alternatives.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if start_method is None:
+        return "fork" if "fork" in methods else "spawn"
+    if start_method not in methods:
+        raise RuntimeError(
+            f"multiprocessing start method {start_method!r} is unavailable "
+            f"on this platform (have {methods}); pass start_method=None to "
+            "auto-select, or use the thread backend"
+        )
+    return start_method
 
 
-def _init_fork_worker(tasks, clients, global_state) -> None:
-    global _FORK_CONTEXT
-    _FORK_CONTEXT = (tasks, clients, global_state)
+class WorkerPool:
+    """A persistent, start-method-aware process pool.
+
+    Created lazily on the first :meth:`map` and reused until
+    :meth:`close` — so the round-level :class:`ProcessBackend` amortizes
+    worker startup across every round of a run, and the sweep engine
+    amortizes it across grid cells.  Workers are stateless: every call
+    ships fully picklable payloads, which is what makes the same code
+    path correct under both ``fork`` and ``spawn``.
+    """
+
+    def __init__(self, workers: int = 0, start_method: Optional[str] = None) -> None:
+        self.workers = default_worker_count(workers)
+        self.start_method = resolve_start_method(start_method)
+        self._pool = None
+        self._finalizer = None
+
+    def _ensure(self):
+        if self._pool is None:
+            context = multiprocessing.get_context(self.start_method)
+            self._pool = context.Pool(self.workers)
+            # Reap workers when the pool object is garbage-collected even
+            # if close() was never called (interpreter shutdown safety).
+            self._finalizer = weakref.finalize(self, _terminate_pool, self._pool)
+        return self._pool
+
+    def map(self, fn, items: Sequence) -> List:
+        """``[fn(item) for item in items]`` on the workers, in order."""
+        items = list(items)
+        if not items:
+            return []
+        try:
+            return self._ensure().map(fn, items)
+        except Exception:
+            # Pickling failures surface as various types (PicklingError,
+            # AttributeError, TypeError) depending on the payload; probe
+            # the payloads so the caller gets a diagnosis, not a hang dump.
+            for item in items:
+                try:
+                    pickle.dumps(item)
+                except Exception as pickle_exc:
+                    raise RuntimeError(
+                        f"worker payloads must pickle for the "
+                        f"{self.start_method!r} process pool ({pickle_exc}); "
+                        "use the thread backend for unpicklable clients"
+                    ) from pickle_exc
+            raise
+
+    def close(self) -> None:
+        """Shut the workers down; the next :meth:`map` starts a fresh pool."""
+        if self._pool is not None:
+            if self._finalizer is not None:
+                self._finalizer.detach()
+                self._finalizer = None
+            _terminate_pool(self._pool)
+            self._pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WorkerPool(workers={self.workers}, "
+            f"start_method={self.start_method!r})"
+        )
 
 
-def _fork_entry(task_index: int) -> ClientUpdate:
-    tasks, clients, global_state = _FORK_CONTEXT
-    task = tasks[task_index]
+def _terminate_pool(pool) -> None:
+    pool.terminate()
+    pool.join()
+
+
+def _process_entry(payload: Tuple[ClientTask, Any, State]) -> ClientUpdate:
+    """Worker-side unit of work: one (task, client, global_state) triple."""
+    task, client, global_state = payload
     return run_client_task(
-        clients[task.client_index],
-        task,
-        global_state,
-        with_sync=task.kind == "train",
+        client, task, global_state, with_sync=task.kind == "train"
     )
 
 
 class ProcessBackend(ExecutionBackend):
-    """Fork-based process pool; worker mutations are synced back in order.
+    """Process-pool execution on a persistent :class:`WorkerPool`.
 
-    Workers inherit the federation by forking (nothing is pickled on the
-    way out); each returns a :class:`ClientUpdate` whose ``sync`` payload
-    the parent replays onto its own client, in task order, so the parent
-    federation ends the round in exactly the state a serial run produces.
+    Tasks ship as picklable ``(task, client, global_state)`` payloads, so
+    one code path serves ``fork`` (cheap startup) and ``spawn``
+    (platforms without fork).  Each worker returns a
+    :class:`ClientUpdate` whose ``sync`` payload the parent replays onto
+    its own client, in task order, so the parent federation ends the
+    round in exactly the state a serial run produces.  The pool persists
+    across rounds (and runs) until :meth:`close`.
     """
 
     name = "process"
 
-    def __init__(self, workers: int = 0) -> None:
+    def __init__(self, workers: int = 0, start_method: Optional[str] = None) -> None:
         self.workers = _default_workers(workers)
-        if "fork" not in multiprocessing.get_all_start_methods():
-            raise RuntimeError(
-                "ProcessBackend requires the 'fork' start method "
-                "(unavailable on this platform); use the thread backend"
-            )
+        self.pool = WorkerPool(workers=self.workers, start_method=start_method)
+
+    @property
+    def start_method(self) -> str:
+        return self.pool.start_method
 
     def run(self, tasks, clients, global_state):
         if len(tasks) <= 1:
             return SerialBackend().run(tasks, clients, global_state)
-        context = multiprocessing.get_context("fork")
-        with context.Pool(
-            min(self.workers, len(tasks)),
-            initializer=_init_fork_worker,
-            initargs=(list(tasks), clients, global_state),
-        ) as pool:
-            updates = pool.map(_fork_entry, range(len(tasks)))
+        payloads = [
+            (task, clients[task.client_index], global_state) for task in tasks
+        ]
+        updates = self.pool.map(_process_entry, payloads)
         for task, update in zip(tasks, updates):
             if update.sync is not None:
                 apply_sync(clients[task.client_index], update.sync)
                 update.sync = None
         return updates
 
+    def close(self) -> None:
+        self.pool.close()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"ProcessBackend(workers={self.workers})"
+        return (
+            f"ProcessBackend(workers={self.workers}, "
+            f"start_method={self.start_method!r})"
+        )
+
+
+class SpawnProcessBackend(ProcessBackend):
+    """Explicit ``spawn``-start process pool (the no-fork platform path)."""
+
+    name = "process-spawn"
+
+    def __init__(self, workers: int = 0) -> None:
+        super().__init__(workers=workers, start_method="spawn")
 
 
 #: Registry of constructible backends, keyed by config/CLI name.
@@ -327,6 +538,7 @@ BACKENDS = {
     SerialBackend.name: SerialBackend,
     ThreadBackend.name: ThreadBackend,
     ProcessBackend.name: ProcessBackend,
+    SpawnProcessBackend.name: SpawnProcessBackend,
 }
 
 

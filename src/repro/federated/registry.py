@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Mapping, Tuple, Type
 
 #: FederationConfig attributes a trainer may declare in ``config_sections``.
-KNOWN_CONFIG_SECTIONS = ("unstructured", "structured")
+KNOWN_CONFIG_SECTIONS = ("unstructured", "structured", "compression")
 
 
 @dataclass(frozen=True)

@@ -101,6 +101,12 @@ class FederatedTrainer:
         self.backend = resolve_backend(backend, workers)
         self.fleet_sim = fleet_sim
         self.round_plan = None  # the current round's RoundPlan (or None)
+        # Backends that dispatch work outside this process (the serving
+        # layer's wire backend) need the trainer for round context — the
+        # current plan, the fleet simulator's pending timelines.
+        bind = getattr(self.backend, "bind_trainer", None)
+        if bind is not None:
+            bind(self)
 
     # ------------------------------------------------------------------
     # Task execution

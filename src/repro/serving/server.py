@@ -1,0 +1,303 @@
+""":class:`FederationServer`: the round loop behind an HTTP endpoint.
+
+The server owns three things: a :class:`~repro.serving.hub.WireHub` task
+board, a trainer thread running the completely ordinary
+``Federation.from_config(config, backend=WireBackend(hub)).run()``, and a
+``ThreadingHTTPServer`` exposing the hub to wire clients (see
+:mod:`~repro.serving.protocol` for the endpoint table).  Because the
+trainer loop is the stock one, everything config-driven — samplers, fleet
+simulation, round policies, callbacks — works unchanged over the wire.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Iterable, Optional
+from urllib.parse import parse_qs, urlparse
+
+from ..federated.builder import FederationConfig
+from ..federated.federation import Federation
+from ..federated.metrics import History
+from ..utils.serialization import history_to_dict
+from .hub import HubClosed, WireBackend, WireHub
+from .protocol import PROTOCOL_VERSION, check_protocol
+
+
+class _QuietThreadingHTTPServer(ThreadingHTTPServer):
+    """Threading server that tolerates clients abandoning their sockets.
+
+    A long-polling client whose socket times out (or that is killed
+    mid-round) leaves the handler writing into a dead pipe; that is a
+    normal serving event — the lease-expiry requeue recovers the task —
+    not something worth a traceback per occurrence.
+    """
+
+    daemon_threads = True
+    # A thousand clients long-polling means a thousand concurrent
+    # connects at round boundaries; the default backlog of 5 drops them.
+    request_queue_size = 256
+
+    def handle_error(self, request, client_address) -> None:
+        import sys
+
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (BrokenPipeError, ConnectionResetError)):
+            return
+        super().handle_error(request, client_address)
+
+
+class FederationServer:
+    """A long-lived federation endpoint for one configured run.
+
+    >>> server = FederationServer(config)           # doctest: +SKIP
+    >>> server.start()                              # doctest: +SKIP
+    >>> print(server.url)  # clients attach here    # doctest: +SKIP
+    >>> history = server.wait()                     # doctest: +SKIP
+
+    ``port=0`` binds an ephemeral port (read it back from ``.port``).
+    ``time_scale`` > 0 paces task dispatch by the fleet-simulated
+    download-done offsets (seconds of simulated time per real second);
+    0 dispatches immediately.  The run starts on :meth:`start` and the
+    trainer thread blocks on the hub until enough wire clients attach to
+    execute each round's tasks.
+    """
+
+    def __init__(
+        self,
+        config: FederationConfig,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lease_seconds: float = 30.0,
+        time_scale: float = 0.0,
+        callbacks: Optional[Iterable] = None,
+    ) -> None:
+        self.config = config
+        self.host = host
+        self._requested_port = port
+        self._callbacks = callbacks
+        codec = "identity"
+        if config.compression is not None:
+            codec = config.compression.codec
+        self.hub = WireHub(lease_seconds=lease_seconds)
+        self.backend = WireBackend(self.hub, codec=codec, time_scale=time_scale)
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._http_thread: Optional[threading.Thread] = None
+        self._trainer_thread: Optional[threading.Thread] = None
+        self._history: Optional[History] = None
+        self._error: Optional[BaseException] = None
+        self._phase = "idle"
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "FederationServer":
+        """Bind the port, start the HTTP loop and the trainer thread."""
+        if self._httpd is not None:
+            raise RuntimeError("server already started")
+        federation = Federation.from_config(self.config, backend=self.backend)
+        handler = _make_handler(self)
+        self._httpd = _QuietThreadingHTTPServer(
+            (self.host, self._requested_port), handler
+        )
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.2},
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._http_thread.start()
+        self._phase = "serving"
+        self._trainer_thread = threading.Thread(
+            target=self._run_trainer,
+            args=(federation,),
+            name="repro-serve-trainer",
+            daemon=True,
+        )
+        self._trainer_thread.start()
+        return self
+
+    def _run_trainer(self, federation: Federation) -> None:
+        try:
+            self._history = federation.run(callbacks=self._callbacks)
+            self._phase = "done"
+        except HubClosed:
+            self._phase = "stopped"
+        except BaseException as exc:  # surfaced through .history / /v1/health
+            self._error = exc
+            self._phase = "failed"
+        finally:
+            self.hub.mark_done()
+
+    def wait(self, timeout: Optional[float] = None) -> History:
+        """Block until the run finishes; returns (or raises) its outcome."""
+        if self._trainer_thread is None:
+            raise RuntimeError("server was never started")
+        self._trainer_thread.join(timeout)
+        if self._trainer_thread.is_alive():
+            raise TimeoutError(f"run still in progress after {timeout}s")
+        return self.history
+
+    @property
+    def history(self) -> History:
+        if self._error is not None:
+            raise RuntimeError("the served run failed") from self._error
+        if self._history is None:
+            raise RuntimeError("the run has not finished")
+        return self._history
+
+    @property
+    def phase(self) -> str:
+        return self._phase
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            raise RuntimeError("server was never started")
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def stop(self) -> None:
+        """Tear everything down (idempotent); an unfinished run is aborted."""
+        self.hub.close()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._http_thread is not None:
+            self._http_thread.join(timeout=5.0)
+            self._http_thread = None
+        if self._trainer_thread is not None:
+            self._trainer_thread.join(timeout=5.0)
+            self._trainer_thread = None
+
+    def __enter__(self) -> "FederationServer":
+        return self.start() if self._httpd is None else self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FederationServer(phase={self._phase!r})"
+
+
+def _make_handler(server: FederationServer):
+    """A request-handler class closed over one :class:`FederationServer`."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        # ------------------------------------------------------------------
+        def log_message(self, *args) -> None:  # quiet by default
+            pass
+
+        def _reply(self, payload: Dict[str, Any], status: int = 200) -> None:
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _error(self, status: int, message: str) -> None:
+            self._reply(
+                {"protocol": PROTOCOL_VERSION, "error": message}, status=status
+            )
+
+        def _read_json(self) -> Dict[str, Any]:
+            length = int(self.headers.get("Content-Length", 0))
+            if length == 0:
+                return {}
+            return json.loads(self.rfile.read(length).decode("utf-8"))
+
+        # ------------------------------------------------------------------
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            url = urlparse(self.path)
+            try:
+                if url.path == "/v1/health":
+                    self._reply(
+                        {
+                            "protocol": PROTOCOL_VERSION,
+                            "phase": server.phase,
+                            "tasks_completed": server.hub.tasks_completed,
+                        }
+                    )
+                elif url.path == "/v1/config":
+                    self._reply(
+                        {
+                            "protocol": PROTOCOL_VERSION,
+                            "config": server.config.to_dict(),
+                            "codec": server.backend.codec,
+                        }
+                    )
+                elif url.path == "/v1/work":
+                    query = parse_qs(url.query)
+                    payload = server.hub.take(
+                        int(query["session"][0]),
+                        wait_seconds=float(query.get("wait", ["0"])[0]),
+                        have_batch=int(query.get("have_batch", ["0"])[0]),
+                    )
+                    payload["protocol"] = PROTOCOL_VERSION
+                    self._reply(payload)
+                elif url.path == "/v1/history":
+                    if server.phase == "serving":
+                        self._error(409, "run still in progress")
+                    elif server.phase == "failed":
+                        self._error(500, "the served run failed")
+                    else:
+                        self._reply(
+                            {
+                                "protocol": PROTOCOL_VERSION,
+                                "history": history_to_dict(server.history),
+                            }
+                        )
+                else:
+                    self._error(404, f"unknown endpoint {url.path}")
+            except (KeyError, ValueError) as exc:
+                self._error(400, str(exc))
+            except HubClosed:
+                self._reply({"protocol": PROTOCOL_VERSION, "status": "done"})
+
+        def do_POST(self) -> None:  # noqa: N802 - http.server API
+            url = urlparse(self.path)
+            try:
+                if url.path == "/v1/register":
+                    body = self._read_json()
+                    check_protocol(body, "register")
+                    session = server.hub.register(body.get("clients"))
+                    self._reply(
+                        {
+                            "protocol": PROTOCOL_VERSION,
+                            "session": session,
+                            "lease_seconds": server.hub.lease_seconds,
+                        }
+                    )
+                elif url.path == "/v1/result":
+                    from ..federated.execution import ClientUpdate
+
+                    body = self._read_json()
+                    update = ClientUpdate.from_wire(body["update"])
+                    accepted = server.hub.complete(
+                        int(body["task_id"]), update
+                    )
+                    self._reply(
+                        {"protocol": PROTOCOL_VERSION, "accepted": accepted}
+                    )
+                elif url.path == "/v1/shutdown":
+                    self._reply({"protocol": PROTOCOL_VERSION, "stopping": True})
+                    # Shut down from a helper thread: shutdown() blocks until
+                    # serve_forever() exits, which cannot happen from inside
+                    # a handler of that very server.
+                    threading.Thread(target=server.stop, daemon=True).start()
+                else:
+                    self._error(404, f"unknown endpoint {url.path}")
+            except (KeyError, ValueError) as exc:
+                self._error(400, str(exc))
+            except HubClosed:
+                self._reply({"protocol": PROTOCOL_VERSION, "status": "done"})
+
+    return Handler

@@ -820,6 +820,31 @@ class FleetSimulator:
         self.pending = plan
         return plan
 
+    def pending_timelines(self):
+        """Per-client timelines of the pending plan's started cohort.
+
+        The serving layer paces real dispatch with these: a client's
+        simulated download+compute offset (scaled by the server's
+        ``time_scale``) delays when its task becomes visible on the
+        wire, so real arrival order tracks simulated arrival order.
+        Reuses the plan's stored traffic and jitter draws, so reading
+        the timelines never advances the RNG stream.  ``None`` when no
+        plan is pending or nothing started this round.
+        """
+        plan = self.pending
+        if plan is None or not plan.started:
+            return None
+        return build_round_timelines(
+            self.fleet,
+            plan.round_index,
+            plan.start,
+            plan.started,
+            self._plan_traffic,
+            self.flops_per_example,
+            self.examples_per_round,
+            jitter_factors=self._plan_draws,
+        )
+
     def complete_round(self, record=None) -> RoundOutcome:
         """Phase 2 (round end): re-price from actuals, drain events, advance.
 

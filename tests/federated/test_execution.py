@@ -6,21 +6,33 @@ masks — and callbacks fire in deterministic round order regardless of how
 client tasks are scheduled.
 """
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.federated import (
     Callback,
     ClientTask,
+    ClientUpdate,
     Federation,
     FederationConfig,
     LocalTrainConfig,
     ProcessBackend,
+    QuantizationCompressor,
     SerialBackend,
+    SpawnProcessBackend,
     ThreadBackend,
+    WorkerPool,
     available_backends,
     resolve_backend,
 )
+from repro.federated.execution import (
+    WIRE_VERSION,
+    ClientSync,
+    resolve_start_method,
+)
+from repro.pruning import MaskSet
 
 BACKENDS = ("serial", "thread", "process")
 
@@ -67,7 +79,9 @@ def assert_histories_identical(reference, other, context=""):
 
 class TestBackendResolution:
     def test_available_backends(self):
-        assert set(available_backends()) == {"serial", "thread", "process"}
+        assert set(available_backends()) == {
+            "serial", "thread", "process", "process-spawn",
+        }
 
     def test_resolve_by_name(self):
         assert isinstance(resolve_backend("serial"), SerialBackend)
@@ -282,3 +296,133 @@ class TestStragglerWeighting:
         # Uniform data sizes and epochs: average of the workers' states.
         assert np.allclose(trainer.global_state["conv1.weight"], expected)
         assert not np.allclose(trainer.global_state["conv1.weight"], stale["conv1.weight"])
+
+
+class TestWireSchema:
+    """ClientTask/ClientUpdate versioned wire serialization."""
+
+    def test_task_roundtrip(self):
+        task = ClientTask(
+            client_index=3, kind="evaluate", load="partial",
+            shared_names=("fc3.weight", "fc3.bias"),
+            anchor_global=True, epochs=2, restore=True, want_trajectory=True,
+        )
+        wire = task.to_wire()
+        assert wire["schema"] == WIRE_VERSION
+        assert ClientTask.from_wire(wire) == task
+        # JSON round-trip (what the HTTP protocol actually does).
+        assert ClientTask.from_wire(json.loads(json.dumps(wire))) == task
+
+    def test_task_rejects_unknown_schema(self):
+        wire = ClientTask(client_index=0).to_wire()
+        wire["schema"] = 99
+        with pytest.raises(ValueError):
+            ClientTask.from_wire(wire)
+
+    def test_update_roundtrip_bitwise(self):
+        rng = np.random.default_rng(0)
+        update = ClientUpdate(
+            client_index=1, client_id=1,
+            state={"w": rng.normal(size=(4, 3)), "b": rng.normal(size=3)},
+            mask=MaskSet({"w": (rng.random((4, 3)) < 0.5).astype(float)}),
+            num_examples=40, mean_loss=1.25, val_accuracy=0.5,
+            pruned_unstructured=True, accuracy=0.75, sparsity=0.3,
+        )
+        wire = json.loads(json.dumps(update.to_wire()))
+        again = ClientUpdate.from_wire(wire)
+        assert again.client_id == 1 and again.num_examples == 40
+        assert again.mean_loss == 1.25 and again.accuracy == 0.75
+        assert again.pruned_unstructured and not again.pruned_structured
+        for name in update.state:
+            np.testing.assert_array_equal(again.state[name], update.state[name])
+        np.testing.assert_array_equal(again.mask["w"], update.mask["w"])
+
+    def test_update_eval_only_payload(self):
+        update = ClientUpdate(client_index=2, client_id=2, accuracy=0.5)
+        again = ClientUpdate.from_wire(update.to_wire())
+        assert again.state is None and again.mask is None
+        assert again.accuracy == 0.5
+
+    def test_update_sync_stays_off_the_wire(self):
+        update = ClientUpdate(
+            client_index=0, client_id=0, state={"w": np.zeros(2)},
+            sync=ClientSync(model_state={}, rng_state={}),
+        )
+        wire = update.to_wire()
+        assert "sync" not in wire
+        assert ClientUpdate.from_wire(wire).sync is None
+
+    def test_update_codec_parameter(self):
+        rng = np.random.default_rng(1)
+        state = {"w": rng.normal(size=(8, 8))}
+        update = ClientUpdate(client_index=0, client_id=0, state=state)
+        wire = update.to_wire(codec=QuantizationCompressor(bits=8))
+        assert wire["state"]["codec"] == "quantize"
+        decoded = ClientUpdate.from_wire(wire)  # header-dispatched decode
+        expected, _ = QuantizationCompressor(bits=8).roundtrip(state)
+        np.testing.assert_array_equal(decoded.state["w"], expected["w"])
+
+
+class TestWorkerPool:
+    def test_persists_across_maps(self):
+        pool = WorkerPool(workers=2)
+        try:
+            first = pool.map(_square, [1, 2, 3])
+            inner = pool._pool
+            second = pool.map(_square, [4, 5])
+            assert first == [1, 4, 9] and second == [16, 25]
+            assert pool._pool is inner  # same pool object: workers reused
+        finally:
+            pool.close()
+        assert pool._pool is None
+
+    def test_empty_map_never_spawns(self):
+        pool = WorkerPool(workers=2)
+        assert pool.map(_square, []) == []
+        assert pool._pool is None
+
+    def test_context_manager_closes(self):
+        with WorkerPool(workers=1) as pool:
+            assert pool.map(_square, [3]) == [9]
+        assert pool._pool is None
+
+    def test_unpicklable_payload_clear_error(self):
+        with WorkerPool(workers=1) as pool:
+            with pytest.raises(RuntimeError, match="pickle"):
+                pool.map(_square, [lambda: None])
+
+    def test_resolve_start_method(self):
+        assert resolve_start_method(None) in ("fork", "spawn")
+        assert resolve_start_method("spawn") == "spawn"
+        with pytest.raises(RuntimeError, match="unavailable"):
+            resolve_start_method("not-a-method")
+
+
+def _square(value):
+    return value * value
+
+
+class TestSpawnBackend:
+    """The spawn-safe process path: same histories, no fork dependency."""
+
+    def test_registered_and_resolvable(self):
+        backend = resolve_backend("process-spawn", workers=2)
+        assert isinstance(backend, SpawnProcessBackend)
+        assert backend.start_method == "spawn"
+
+    def test_explicit_start_method_plumbs_through(self):
+        assert ProcessBackend(workers=1, start_method="spawn").start_method == "spawn"
+
+    def test_spawn_history_identical_to_serial(self):
+        reference, _ = run_federation("fedavg", "serial", rounds=1)
+        candidate, cand_fed = run_federation("fedavg", "process-spawn", rounds=1)
+        assert_histories_identical(reference, candidate, "fedavg/process-spawn")
+        backend = cand_fed.trainer.backend
+        assert backend.start_method == "spawn"
+        backend.close()
+
+    def test_process_backend_pool_persists_across_rounds(self):
+        _, federation = run_federation("fedavg", "process")
+        backend = federation.trainer.backend
+        assert backend.pool._pool is not None  # still warm after the run
+        backend.close()
