@@ -12,10 +12,12 @@ global weights, fine-tune-and-evaluate, …) — and hand the list to
   numpy/BLAS kernels that release the GIL, so sampled clients genuinely
   overlap.  Clients are disjoint per task and each owns its own seeded
   RNG stream, so results do not depend on scheduling.
-* :class:`ProcessBackend` — a ``fork`` process pool.  Workers inherit the
-  clients by forking, execute their tasks, and ship a picklable
-  :class:`ClientUpdate` (plus a :class:`ClientSync` of mutated client
-  state) back to the parent, which re-applies it in task order.
+* :class:`ProcessBackend` — a process pool.  Under ``fork`` workers
+  inherit the clients (and global state) copy-on-write per batch; under
+  ``spawn`` a persistent :class:`WorkerPool` receives picklable task
+  payloads.  Either way workers ship a picklable :class:`ClientUpdate`
+  (plus a :class:`ClientSync` of mutated client state) back to the
+  parent, which re-applies it in task order.
 
 Determinism contract: every backend returns updates in **task order**, and
 all client-side randomness comes from per-client generators
@@ -479,16 +481,39 @@ def _process_entry(payload: Tuple[ClientTask, Any, State]) -> ClientUpdate:
     )
 
 
-class ProcessBackend(ExecutionBackend):
-    """Process-pool execution on a persistent :class:`WorkerPool`.
+#: Parent-side batch context a ``fork`` pool's workers inherit copy-on-write
+#: (set immediately before the pool is created, cleared right after map).
+_FORK_CONTEXT: Optional[Tuple[Sequence[ClientTask], Any, State]] = None
 
-    Tasks ship as picklable ``(task, client, global_state)`` payloads, so
-    one code path serves ``fork`` (cheap startup) and ``spawn``
-    (platforms without fork).  Each worker returns a
-    :class:`ClientUpdate` whose ``sync`` payload the parent replays onto
-    its own client, in task order, so the parent federation ends the
-    round in exactly the state a serial run produces.  The pool persists
-    across rounds (and runs) until :meth:`close`.
+
+def _fork_entry(index: int) -> ClientUpdate:
+    """Worker-side unit of work under ``fork``: everything is inherited."""
+    tasks, clients, global_state = _FORK_CONTEXT
+    task = tasks[index]
+    return run_client_task(
+        clients[task.client_index], task, global_state,
+        with_sync=task.kind == "train",
+    )
+
+
+class ProcessBackend(ExecutionBackend):
+    """Process-pool execution, dispatch strategy chosen by start method.
+
+    * ``fork`` — each batch forks a short-lived pool whose workers
+      inherit the tasks, clients and global state copy-on-write, so
+      *nothing* ships on the way in (only the :class:`ClientUpdate`
+      results pickle back).  Fork startup is a syscall, far cheaper than
+      serializing every client's model **and dataset** per task into a
+      persistent pool.
+    * ``spawn`` — a persistent :class:`WorkerPool` is reused across
+      rounds (worker startup boots an interpreter, so persistence is
+      what pays) and each task ships as a picklable
+      ``(task, client, global_state)`` payload.
+
+    Either way each worker returns a :class:`ClientUpdate` whose ``sync``
+    payload the parent replays onto its own client, in task order, so the
+    parent federation ends the round in exactly the state a serial run
+    produces.
     """
 
     name = "process"
@@ -502,17 +527,35 @@ class ProcessBackend(ExecutionBackend):
         return self.pool.start_method
 
     def run(self, tasks, clients, global_state):
+        tasks = list(tasks)
         if len(tasks) <= 1:
             return SerialBackend().run(tasks, clients, global_state)
-        payloads = [
-            (task, clients[task.client_index], global_state) for task in tasks
-        ]
-        updates = self.pool.map(_process_entry, payloads)
+        if self.start_method == "fork":
+            updates = self._run_forked(tasks, clients, global_state)
+        else:
+            payloads = [
+                (task, clients[task.client_index], global_state)
+                for task in tasks
+            ]
+            updates = self.pool.map(_process_entry, payloads)
         for task, update in zip(tasks, updates):
             if update.sync is not None:
                 apply_sync(clients[task.client_index], update.sync)
                 update.sync = None
         return updates
+
+    def _run_forked(self, tasks, clients, global_state) -> List[ClientUpdate]:
+        global _FORK_CONTEXT
+        context = multiprocessing.get_context("fork")
+        # The context global must be in place *before* Pool() forks the
+        # workers: they snapshot it (and the clients it references) via
+        # copy-on-write page sharing, not via pickling.
+        _FORK_CONTEXT = (tasks, clients, global_state)
+        try:
+            with context.Pool(min(self.workers, len(tasks))) as pool:
+                return pool.map(_fork_entry, range(len(tasks)))
+        finally:
+            _FORK_CONTEXT = None
 
     def close(self) -> None:
         self.pool.close()

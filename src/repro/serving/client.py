@@ -181,7 +181,11 @@ class WireClientRunner:
         """Serve until the run completes; returns tasks completed."""
         published = self.api.fetch_config()
         config = FederationConfig.from_dict(published["config"])
-        codec = build_compressor(config.compression)
+        # Encode uploads with the server's *wire* codec (normally identity:
+        # a ``compression:`` section is modeled trainer-side, not on the
+        # transport), never with ``config.compression`` — lossy-encoding
+        # full states here would corrupt aggregation server-side.
+        codec = build_compressor(published.get("codec") or "identity")
         clients = make_clients(config)
         self.api.register(self.client_indices)
         have_batch = 0
@@ -192,9 +196,7 @@ class WireClientRunner:
                     wait_seconds=self.poll_seconds, have_batch=have_batch
                 )
             except ConnectionError:
-                if self.tasks_completed:
-                    # The server only disappears once the run is over (it
-                    # outlived every retry window): a clean end of service.
+                if self._confirm_run_over():
                     break
                 raise
             status = response["status"]
@@ -214,6 +216,20 @@ class WireClientRunner:
             )
             self.tasks_completed += 1
         return self.tasks_completed
+
+    def _confirm_run_over(self) -> bool:
+        """After losing the connection, verify the run actually ended.
+
+        A server that finished serving may be torn down before this
+        runner's next poll — that is a clean end of service, but only if
+        the run is confirmed over.  A crash or a partition that outlasts
+        the retry window must surface through :meth:`join`, not be
+        swallowed as success.
+        """
+        try:
+            return self.api.health().get("phase") in ("done", "stopped")
+        except (ConnectionError, RuntimeError):
+            return False
 
     # ------------------------------------------------------------------
     # Thread sugar (the CLI and tests run many runners side by side)

@@ -16,6 +16,11 @@ tasks and posting updates).  Dispatch rules:
 * **Restart cancellation** — submitting a *train* batch cancels any
   incomplete train task for the same clients (the fleet simulator's
   all-busy restart: stale work is discarded, not aggregated).
+* **Bounded memory** — a batch's packed global weights are freed once
+  every task in it is completed or cancelled, and a completed task's
+  entry (carrying a full client-state update) leaves the board when the
+  trainer consumes it via ``wait_for`` — so a long-lived server holds
+  only the *outstanding* work, not one model copy per round served.
 
 :class:`WireBackend` is a normal
 :class:`~repro.federated.execution.ExecutionBackend`, so the trainer loop
@@ -84,6 +89,12 @@ class BatchStats:
     submitted: float
     finished: Optional[float] = None
     completed: int = 0
+    cancelled: int = 0
+
+    @property
+    def settled(self) -> bool:
+        """Every task accounted for: no lease will ever need this batch."""
+        return self.completed + self.cancelled >= self.size
 
     @property
     def latency_seconds(self) -> Optional[float]:
@@ -189,7 +200,10 @@ class WireHub:
         The all-busy restart: the simulator discarded these clients'
         in-flight work, so their stale tasks must never be aggregated.
         Finished entries stay (a later plan may still carry them); only
-        pending/leased ones are cancelled.
+        pending/leased ones are cancelled — and dropped from the board
+        entirely, so a long-lived server does not accumulate them (a late
+        upload for a dropped id is acknowledged and ignored, exactly like
+        a duplicate).
         """
         for index in client_indices:
             queue = self._queues.get(index)
@@ -203,16 +217,39 @@ class WireHub:
                 ):
                     entry.status = CANCELLED
                     queue.remove(task_id)
+                    del self._entries[task_id]
+                    stats = self._batches[entry.batch_id]
+                    stats.cancelled += 1
+                    self._settle_batch(stats)
             self._push_head(index)
+
+    def _settle_batch(self, stats: BatchStats) -> None:
+        """Free a fully accounted batch's packed global weights.
+
+        Every task is completed or cancelled, so no future lease can need
+        the batch's blob — dropping it caps the server's memory at the
+        *outstanding* batches instead of one model copy per round served.
+        Only the small :class:`BatchStats` record survives for
+        introspection.
+        """
+        if stats.settled:
+            if stats.finished is None:
+                stats.finished = time.monotonic()
+            self._globals.pop(stats.batch_id, None)
 
     def wait_for(
         self, task_ids: Sequence[int], timeout: Optional[float] = None
     ) -> Dict[int, ClientUpdate]:
         """Block until every listed task is done; ``{task_id: update}``.
 
-        Raises :class:`HubClosed` if the hub shuts down first, and
-        ``RuntimeError`` if an awaited task was cancelled (the trainer
-        asked for work it also discarded — a logic error upstream).
+        Consuming is destructive: returned tasks leave the board (their
+        entries — holding full client-state updates — would otherwise
+        accumulate for the lifetime of a long-lived server).  Raises
+        :class:`HubClosed` if the hub shuts down first, and
+        ``RuntimeError`` if an awaited task is gone from the board — it
+        was cancelled by a restart batch, or already consumed (the
+        trainer asked for work it also discarded — a logic error
+        upstream).
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
@@ -221,16 +258,18 @@ class WireHub:
                     raise HubClosed("hub closed while awaiting results")
                 pending = []
                 for task_id in task_ids:
-                    entry = self._entries[task_id]
-                    if entry.status == CANCELLED:
+                    entry = self._entries.get(task_id)
+                    if entry is None:
                         raise RuntimeError(
-                            f"task {task_id} was cancelled while awaited"
+                            f"task {task_id} is gone from the board "
+                            "(cancelled by a restart batch, or already "
+                            "consumed)"
                         )
                     if entry.status != DONE:
                         pending.append(task_id)
                 if not pending:
                     return {
-                        task_id: self._entries[task_id].update
+                        task_id: self._entries.pop(task_id).update
                         for task_id in task_ids
                     }
                 remaining = 0.5
@@ -397,8 +436,7 @@ class WireHub:
             self.tasks_completed += 1
             stats = self._batches[entry.batch_id]
             stats.completed += 1
-            if stats.completed >= stats.size:
-                stats.finished = time.monotonic()
+            self._settle_batch(stats)
             self._cond.notify_all()
             return True
 

@@ -77,11 +77,13 @@ class FederationServer:
         self.host = host
         self._requested_port = port
         self._callbacks = callbacks
-        codec = "identity"
-        if config.compression is not None:
-            codec = config.compression.codec
         self.hub = WireHub(lease_seconds=lease_seconds)
-        self.backend = WireBackend(self.hub, codec=codec, time_scale=time_scale)
+        # Wire transport is always lossless.  A ``compression:`` section is
+        # *modeled* by the trainer itself (FedAvgCompressed round-trips each
+        # delta through the codec server-side), so encoding full client
+        # states with a lossy codec here would zero most coordinates on
+        # decode and double-apply the codec — corrupting aggregation.
+        self.backend = WireBackend(self.hub, codec="identity", time_scale=time_scale)
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._http_thread: Optional[threading.Thread] = None
         self._trainer_thread: Optional[threading.Thread] = None

@@ -419,10 +419,15 @@ class TestSpawnBackend:
         assert_histories_identical(reference, candidate, "fedavg/process-spawn")
         backend = cand_fed.trainer.backend
         assert backend.start_method == "spawn"
+        assert backend.pool._pool is not None  # persistent: still warm
         backend.close()
 
-    def test_process_backend_pool_persists_across_rounds(self):
+    def test_fork_backend_skips_the_persistent_pool(self):
+        """Fork batches inherit state in ephemeral pools: no payload
+        shipping, and the persistent (spawn-path) pool never starts."""
+        if resolve_start_method(None) != "fork":
+            pytest.skip("platform has no fork")
         _, federation = run_federation("fedavg", "process")
         backend = federation.trainer.backend
-        assert backend.pool._pool is not None  # still warm after the run
+        assert backend.pool._pool is None
         backend.close()

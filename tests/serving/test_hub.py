@@ -190,6 +190,43 @@ class TestRestartCancellation:
         assert results[finished].client_index == 0
 
 
+class TestMemoryBounds:
+    """A long-lived server must not accumulate per-round state."""
+
+    def test_settled_batch_frees_global_blob(self):
+        hub = WireHub()
+        _, ids = hub.submit_batch([train(0), train(1)], state())
+        assert len(hub._globals) == 1
+        for task_id, index in zip(ids, (0, 1)):
+            hub.complete(task_id, update(index))
+        assert hub._globals == {}
+
+    def test_wait_for_consumes_entries_off_the_board(self):
+        hub = WireHub()
+        _, ids = hub.submit_batch([train(0), train(1)], state())
+        for task_id, index in zip(ids, (0, 1)):
+            hub.complete(task_id, update(index))
+        hub.wait_for(ids)
+        assert hub._entries == {}
+        # A late duplicate for a consumed task is still dropped quietly.
+        assert hub.complete(ids[0], update(0)) is False
+        # Introspection survives consumption.
+        (stats,) = hub.stats()
+        assert stats.completed == 2 and stats.settled
+        with pytest.raises(RuntimeError, match="gone from the board"):
+            hub.wait_for(ids, timeout=0.1)
+
+    def test_cancelled_tasks_freed_and_settle_their_batch(self):
+        hub = WireHub()
+        _, (stale,) = hub.submit_batch([train(0)], state(), round_index=1)
+        hub.submit_batch([train(0)], state(), round_index=2)
+        # The restart batch settled round 1's batch: blob + entry freed.
+        assert stale not in hub._entries
+        assert len(hub._globals) == 1  # only round 2's blob remains
+        stats = hub.stats()[0]
+        assert stats.cancelled == 1 and stats.settled
+
+
 class TestStats:
     def test_batch_latency_recorded_on_completion(self):
         hub = WireHub()

@@ -9,9 +9,12 @@ stragglers eagerly and counts their loss in the round that *started*
 them; the wire collects it in the round that *delivers* them).
 """
 
+import time
+
 import pytest
 
 from repro.federated import (
+    CompressionConfig,
     Federation,
     FederationConfig,
     LocalTrainConfig,
@@ -19,6 +22,7 @@ from repro.federated import (
     SystemsConfig,
 )
 from repro.serving import FederationServer, ServerClient, attach_runners
+from repro.serving.client import WireClientRunner
 from repro.serving.protocol import PROTOCOL_VERSION, STATUS_WAIT
 from repro.utils.serialization import history_to_dict
 
@@ -58,6 +62,20 @@ def serve_run(config, partitions, lease_seconds=30.0):
 class TestSynchronousEquivalence:
     def test_wire_run_bit_identical_to_in_process(self):
         config = tiny_config()
+        local = history_to_dict(Federation.from_config(config).run())
+        served = history_to_dict(serve_run(config, [(0, 1), (2, 3)]))
+        assert served == local
+
+    @pytest.mark.parametrize("codec", ("topk", "quantize"))
+    def test_lossy_compression_config_bit_identical(self, codec):
+        """A ``compression:`` section is modeled by the trainer (it
+        round-trips each delta server-side), so the wire transport must
+        stay lossless — a lossy codec config must not corrupt the served
+        aggregation or double-apply the codec."""
+        config = tiny_config(
+            algorithm="fedavg-compressed",
+            compression=CompressionConfig(codec=codec, fraction=0.5, bits=8),
+        )
         local = history_to_dict(Federation.from_config(config).run())
         served = history_to_dict(serve_run(config, [(0, 1), (2, 3)]))
         assert served == local
@@ -111,6 +129,30 @@ class TestDisconnectRecovery:
             for runner in runners:
                 runner.join(timeout=30.0)
         assert history_to_dict(history) == local
+
+
+class TestCrashSurfacesFailure:
+    def test_runner_raises_when_server_vanishes_midrun(self):
+        """A server crash (HTTP gone, run unfinished) must surface through
+        join(), not be mistaken for a clean end of service."""
+        config = tiny_config(rounds=50, eval_every=0)
+        server = FederationServer(config).start()
+        try:
+            runner = WireClientRunner(server.url, poll_seconds=0.2)
+            runner.api.retries = 1
+            runner.api.backoff_seconds = 0.05
+            runner.start()
+            deadline = time.monotonic() + 60.0
+            while runner.tasks_completed == 0:
+                assert time.monotonic() < deadline, "runner never got work"
+                time.sleep(0.02)
+            # The "crash": HTTP vanishes while the trainer still serves.
+            server._httpd.shutdown()
+            server._httpd.server_close()
+            with pytest.raises(RuntimeError, match="wire client failed"):
+                runner.join(timeout=60.0)
+        finally:
+            server.stop()
 
 
 class TestEndpoints:
